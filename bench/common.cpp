@@ -1,0 +1,51 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+namespace arv::bench {
+
+ColocatedResult run_colocated(
+    const jvm::JavaWorkload& workload, const jvm::JvmFlags& flags, int n,
+    const std::function<void(int, container::ContainerConfig&)>& tweak,
+    SimDuration deadline) {
+  harness::JvmScenario scenario(paper_host());
+  for (int i = 0; i < n; ++i) {
+    harness::JvmInstanceConfig config;
+    config.container.name = "c" + std::to_string(i);
+    config.flags = flags;
+    config.workload = workload;
+    if (tweak) {
+      tweak(i, config.container);
+    }
+    scenario.add(config);
+  }
+  scenario.run(deadline);
+
+  ColocatedResult result;
+  for (const auto& run : scenario.results()) {
+    result.mean_exec_s +=
+        static_cast<double>(run.stats.end_time - run.stats.start_time) / 1e6;
+    result.mean_gc_s += static_cast<double>(run.stats.gc_time()) / 1e6;
+    result.completed += run.stats.completed ? 1 : 0;
+    result.oom_errors += run.stats.oom_error ? 1 : 0;
+    result.killed += run.stats.killed ? 1 : 0;
+  }
+  result.mean_exec_s /= n;
+  result.mean_gc_s /= n;
+  return result;
+}
+
+void register_case(const std::string& name, std::function<void()> fn) {
+  benchmark::RegisterBenchmark(name.c_str(), [fn = std::move(fn)](
+                                                 benchmark::State& state) {
+    for (auto _ : state) {
+      fn();
+    }
+  })->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void print_header(const std::string& figure, const std::string& description) {
+  std::printf("\n=== %s — %s ===\n", figure.c_str(), description.c_str());
+}
+
+}  // namespace arv::bench

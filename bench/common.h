@@ -1,0 +1,58 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary follows the same pattern: run the paper's scenario on
+// the simulated 20-core / 128 GiB testbed, collect per-configuration
+// results, and print the figure's rows as an ASCII table (plus CSV for the
+// series figures). The scenario runs are also registered as google-benchmark
+// cases so `--benchmark_filter` / JSON output work as usual.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/harness/scenario.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+#include "src/workloads/java_suites.h"
+
+namespace arv::bench {
+
+using namespace arv::units;
+
+/// The paper's testbed (§5.1): PowerEdge R730, dual 10-core Xeon, 128 GB.
+inline container::HostConfig paper_host() {
+  container::HostConfig config;
+  config.cpus = 20;
+  config.ram = 128 * GiB;
+  return config;
+}
+
+struct ColocatedResult {
+  double mean_exec_s = 0;  ///< mean execution time, simulated seconds
+  double mean_gc_s = 0;    ///< mean STW GC time
+  int completed = 0;
+  int oom_errors = 0;
+  int killed = 0;
+};
+
+/// Runs `n` identical containers, each executing `workload` under `flags`.
+/// `tweak` may adjust each container config (limits, cpusets, view on/off).
+ColocatedResult run_colocated(
+    const jvm::JavaWorkload& workload, const jvm::JvmFlags& flags, int n,
+    const std::function<void(int, container::ContainerConfig&)>& tweak = {},
+    SimDuration deadline = 7200 * sec);
+
+/// Shorthand for the §5.1 heap sizing rule (-Xmx = 3x min heap).
+inline Bytes paper_xmx(const jvm::JavaWorkload& w) { return 3 * jvm::min_heap_of(w); }
+
+/// Registers a no-op google-benchmark case that executes `fn` once per
+/// iteration, so every scenario is individually runnable/filterable.
+void register_case(const std::string& name, std::function<void()> fn);
+
+/// Prints a section header in the bench output.
+void print_header(const std::string& figure, const std::string& description);
+
+}  // namespace arv::bench

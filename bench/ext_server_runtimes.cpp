@@ -1,0 +1,149 @@
+// Extension study (beyond the paper's two case studies): the two
+// auto-configuration patterns behind most of Figure 1's "affected" images,
+// measured the way operators feel them — throughput and tail latency.
+//
+//   E1: worker-pool web server (`worker_processes auto;`) on quota-limited
+//       containers: host-detected vs effective-CPU worker counts.
+//   E2: cache-sizing database (cache = 50% of detected RAM) in containers
+//       of various sizes: host-detected vs effective-memory cache.
+//   E3: graceful-reload elasticity: the adaptive server resizes its pool
+//       as co-runners retire.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/common.h"
+#include "src/server/server_runtime.h"
+#include "src/workloads/hogs.h"
+
+namespace {
+
+using namespace arv;
+using namespace arv::bench;
+
+void ext_web_server() {
+  print_header("Extension E1",
+               "worker-pool web server, 5 containers with 4-core quotas, "
+               "overloaded (p95 ms / throughput per container)");
+  Table table({"sizing", "workers", "p95 (ms)", "req/s", "drops"});
+  for (const bool view : {false, true}) {
+    container::Host host(paper_host());
+    container::ContainerRuntime runtime(host);
+    std::vector<std::unique_ptr<server::WorkerPoolServer>> servers;
+    for (int i = 0; i < 5; ++i) {
+      container::ContainerConfig config;
+      config.name = "web" + std::to_string(i);
+      config.cfs_quota_us = 400000;  // 4 CPUs
+      config.enable_resource_view = view;
+      auto& c = runtime.run(config);
+      server::WebConfig web;
+      web.arrivals_per_sec = 1800;       // ~4.5 CPUs of demand on 4
+      web.service_cpu = 25 * 100;        // 2.5 ms
+      servers.push_back(
+          std::make_unique<server::WorkerPoolServer>(host, c, web));
+    }
+    host.run_for(15 * sec);
+    double p95 = 0;
+    double tput = 0;
+    std::uint64_t drops = 0;
+    for (const auto& srv : servers) {
+      p95 += srv->stats().p95_ms();
+      tput += srv->stats().throughput_per_sec(15 * sec);
+      drops += srv->dropped();
+    }
+    table.add_row({view ? "effective (adaptive view)" : "detected (host CPUs)",
+                   std::to_string(servers[0]->workers()), strf("%.0f", p95 / 5),
+                   strf("%.0f", tput / 5), std::to_string(drops)});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "expected: 20 workers on 4 effective CPUs pay coordination and quota-\n"
+      "throttling jitter; effective-sized pools serve more with a lower tail.\n");
+}
+
+void ext_cache_server() {
+  print_header("Extension E2",
+               "cache-sizing database (cache = 50% of detected RAM) in a "
+               "memory-limited container");
+  Table table({"container limit", "sizing", "cache target", "hit ratio",
+               "req/s", "p95 (ms)"});
+  for (const Bytes limit : {2 * GiB, 4 * GiB, 8 * GiB}) {
+    for (const bool view : {false, true}) {
+      container::Host host(paper_host());
+      container::ContainerRuntime runtime(host);
+      container::ContainerConfig config;
+      config.name = "db";
+      config.mem_limit = limit;
+      config.mem_soft_limit = limit;
+      config.enable_resource_view = view;
+      auto& c = runtime.run(config);
+      server::CacheConfig cache;
+      cache.dataset = 4 * GiB;
+      server::CacheServer srv(host, c, cache);
+      host.run_for(30 * sec);
+      table.add_row({format_bytes(limit), view ? "effective" : "detected",
+                     format_bytes(srv.cache_target()),
+                     strf("%.2f", srv.hit_ratio()),
+                     strf("%.0f", srv.stats().throughput_per_sec(30 * sec)),
+                     strf("%.1f", srv.stats().p95_ms())});
+    }
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "expected: the detected 63.5 GiB cache target swaps against every\n"
+      "limit; the effective target fits and throughput recovers (with hit\n"
+      "ratio growing as the limit allows a bigger cache).\n");
+}
+
+void ext_graceful_reload() {
+  print_header("Extension E3",
+               "graceful reload: adaptive worker pool tracking freed CPUs");
+  container::Host host(paper_host());
+  container::ContainerRuntime runtime(host);
+  // Nine sysbench co-runners retiring over time, as in Figure 8.
+  std::vector<std::unique_ptr<workloads::CpuHog>> hogs;
+  for (int i = 0; i < 9; ++i) {
+    container::ContainerConfig config;
+    config.name = "hog" + std::to_string(i);
+    auto& c = runtime.run(config);
+    hogs.push_back(
+        std::make_unique<workloads::CpuHog>(host, c, 4, (i + 1) * 2 * sec));
+  }
+  container::ContainerConfig config;
+  config.name = "web";
+  auto& c = runtime.run(config);
+  server::WebConfig web;
+  web.arrivals_per_sec = 4000;
+  web.service_cpu = 4 * msec;  // 16 CPUs of demand
+  web.resize_interval = 500 * msec;
+  server::WorkerPoolServer srv(host, c, web);
+  host.run_for(25 * sec);
+  std::printf("worker pool over time:");
+  for (const int workers : srv.worker_trace()) {
+    std::printf(" %d", workers);
+  }
+  std::printf("\nfinal p95 %.0f ms, %.0f req/s\n", srv.stats().p95_ms(),
+              srv.stats().throughput_per_sec(25 * sec));
+  std::printf(
+      "expected: the pool starts at the fair share (2 of 20 CPUs among 10\n"
+      "containers) and climbs as sysbench containers retire.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ext_web_server();
+  ext_cache_server();
+  ext_graceful_reload();
+  arv::bench::register_case("ext/web/adaptive", [] {
+    container::Host host(paper_host());
+    container::ContainerRuntime runtime(host);
+    auto& c = runtime.run({});
+    server::WorkerPoolServer srv(host, c, {});
+    host.run_for(1 * sec);
+  });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 1: analysis of the top-100 application images on DockerHub —
+// how many are potentially affected by the container semantic gap,
+// per implementation language.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/workloads/dockerhub.h"
+
+namespace {
+
+using namespace arv;
+using namespace arv::workloads;
+
+void print_figure1() {
+  bench::print_header("Figure 1",
+                      "top-100 DockerHub images affected by the semantic gap");
+  Table table({"language", "affected", "unaffected", "total"});
+  int affected_total = 0;
+  int total = 0;
+  for (const Language lang :
+       {Language::kC, Language::kCpp, Language::kJava, Language::kGo,
+        Language::kPython, Language::kPhp, Language::kRuby}) {
+    const auto counts = count_by_language().at(lang);
+    table.add_row({std::string(language_name(lang)),
+                   std::to_string(counts.affected),
+                   std::to_string(counts.unaffected),
+                   std::to_string(counts.total())});
+    affected_total += counts.affected;
+    total += counts.total();
+  }
+  table.add_row({"ALL", std::to_string(affected_total),
+                 std::to_string(total - affected_total), std::to_string(total)});
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf("paper: 62/100 affected; all java and php images affected\n");
+
+  std::printf("\nExample probes found in affected images:\n");
+  int shown = 0;
+  for (const auto& image : dockerhub_top100()) {
+    if (image.affected && shown < 6) {
+      std::printf("  %-16s (%s): %s\n", std::string(image.name).c_str(),
+                  std::string(language_name(image.language)).c_str(),
+                  std::string(image.probe).c_str());
+      ++shown;
+    }
+  }
+}
+
+void BM_DatasetAggregation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_by_language());
+    benchmark::DoNotOptimize(total_affected());
+  }
+}
+BENCHMARK(BM_DatasetAggregation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

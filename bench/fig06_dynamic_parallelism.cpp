@@ -1,0 +1,100 @@
+// Figure 6: vanilla vs dynamic vs adaptive JVMs, five identical containers
+// with equal shares on 20 cores (§5.2's "well-tuned environment").
+//
+//   (a) DaCapo execution time, normalized to vanilla (lower is better)
+//   (b) SPECjvm2008 throughput, normalized to vanilla (higher is better)
+//   (c) GC time for both suites, normalized to vanilla (lower is better)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace arv;
+using namespace arv::bench;
+
+struct Fig6Row {
+  ColocatedResult vanilla;
+  ColocatedResult dynamic;
+  ColocatedResult adaptive;
+};
+
+Fig6Row run_fig6(const jvm::JavaWorkload& w) {
+  const auto stock = [](int, container::ContainerConfig& config) {
+    config.enable_resource_view = false;
+  };
+  Fig6Row row;
+  jvm::JvmFlags vanilla{.kind = jvm::JvmKind::kVanilla8,
+                        .dynamic_gc_threads = false,
+                        .xmx = paper_xmx(w)};
+  jvm::JvmFlags dynamic{.kind = jvm::JvmKind::kVanilla8,
+                        .dynamic_gc_threads = true,
+                        .xmx = paper_xmx(w)};
+  jvm::JvmFlags adaptive{.kind = jvm::JvmKind::kAdaptive, .xmx = paper_xmx(w)};
+  row.vanilla = run_colocated(w, vanilla, 5, stock);
+  row.dynamic = run_colocated(w, dynamic, 5, stock);
+  row.adaptive = run_colocated(w, adaptive, 5);  // resource view on
+  return row;
+}
+
+void print_fig6() {
+  print_header("Figure 6(a)",
+               "DaCapo execution time relative to vanilla (lower is better)");
+  std::vector<std::pair<std::string, Fig6Row>> gc_rows;
+  {
+    Table table({"benchmark", "Vanilla", "Dynamic", "Adaptive"});
+    for (const auto& w : workloads::dacapo_suite()) {
+      const auto row = run_fig6(w);
+      table.add_row({w.name, "1.00",
+                     strf("%.2f", row.dynamic.mean_exec_s / row.vanilla.mean_exec_s),
+                     strf("%.2f", row.adaptive.mean_exec_s / row.vanilla.mean_exec_s)});
+      gc_rows.emplace_back(w.name, row);
+    }
+    std::fputs(table.to_ascii().c_str(), stdout);
+    std::printf("paper shape: adaptive up to ~49%% faster than vanilla.\n");
+  }
+
+  print_header("Figure 6(b)",
+               "SPECjvm2008 throughput relative to vanilla (higher is better)");
+  {
+    Table table({"benchmark", "Vanilla", "Dynamic", "Adaptive"});
+    for (const auto& w : workloads::specjvm_suite()) {
+      const auto row = run_fig6(w);
+      // Throughput ~ 1 / execution time for a fixed operation count.
+      table.add_row({w.name, "1.00",
+                     strf("%.2f", row.vanilla.mean_exec_s / row.dynamic.mean_exec_s),
+                     strf("%.2f", row.vanilla.mean_exec_s / row.adaptive.mean_exec_s)});
+      gc_rows.emplace_back(w.name, row);
+    }
+    std::fputs(table.to_ascii().c_str(), stdout);
+    std::printf("paper shape: adaptive up to ~18%% higher throughput;\n"
+                "mpegaudio (allocation-light) barely moves.\n");
+  }
+
+  print_header("Figure 6(c)", "GC time relative to vanilla (lower is better)");
+  {
+    Table table({"benchmark", "Vanilla", "Dynamic", "Adaptive"});
+    for (const auto& [name, row] : gc_rows) {
+      table.add_row({name, "1.00",
+                     strf("%.2f", row.dynamic.mean_gc_s / row.vanilla.mean_gc_s),
+                     strf("%.2f", row.adaptive.mean_gc_s / row.vanilla.mean_gc_s)});
+    }
+    std::fputs(table.to_ascii().c_str(), stdout);
+    std::printf("paper shape: most of the end-to-end gain comes from GC time.\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig6();
+  arv::bench::register_case("fig6/h2/adaptive", [] {
+    const auto w = workloads::dacapo_suite()[0];
+    run_colocated(w, {.kind = jvm::JvmKind::kAdaptive, .xmx = paper_xmx(w)}, 5);
+  });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 7: DaCapo performance under a static CPU limit (JDK 9 detecting a
+// 2-core cpuset) vs the adaptive resource view, as the number of colocated
+// containers grows from 2 to 10.
+//
+//   (a)-(e): execution time per benchmark    (f)-(j): GC time per benchmark
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace arv;
+using namespace arv::bench;
+
+struct Point {
+  double exec_s;
+  double gc_s;
+};
+
+/// JVM 9 configuration: every container pinned to its own 2-core cpuset
+/// ("we configured the CPU mask to access two cores in each container").
+Point run_jdk9(const jvm::JavaWorkload& w, int containers) {
+  jvm::JvmFlags flags{.kind = jvm::JvmKind::kJdk9, .xmx = paper_xmx(w)};
+  const auto result = run_colocated(
+      w, flags, containers, [](int i, container::ContainerConfig& config) {
+        CpuSet mask;
+        mask.set(2 * i);
+        mask.set(2 * i + 1);
+        config.cpuset = mask;
+        config.enable_resource_view = false;
+      });
+  return {result.mean_exec_s, result.mean_gc_s};
+}
+
+/// Adaptive configuration: no affinity, equal shares, resource view on.
+Point run_adaptive(const jvm::JavaWorkload& w, int containers) {
+  jvm::JvmFlags flags{.kind = jvm::JvmKind::kAdaptive, .xmx = paper_xmx(w)};
+  const auto result = run_colocated(w, flags, containers);
+  return {result.mean_exec_s, result.mean_gc_s};
+}
+
+void print_fig7() {
+  for (const auto& w : workloads::dacapo_suite()) {
+    print_header("Figure 7 — " + w.name,
+                 "execution / GC time vs number of containers");
+    Table table({"containers", "JVM9 exec(s)", "Adaptive exec(s)",
+                 "JVM9 gc(s)", "Adaptive gc(s)"});
+    for (const int n : {2, 4, 6, 8, 10}) {
+      const Point jdk9 = run_jdk9(w, n);
+      const Point adaptive = run_adaptive(w, n);
+      table.add_row({std::to_string(n), strf("%.2f", jdk9.exec_s),
+                     strf("%.2f", adaptive.exec_s), strf("%.3f", jdk9.gc_s),
+                     strf("%.3f", adaptive.gc_s)});
+    }
+    std::fputs(table.to_ascii().c_str(), stdout);
+  }
+  std::printf(
+      "\npaper shape: adaptive beats JVM9 on total time everywhere (no 2-core\n"
+      "pin; mutators soak slack CPU), the gap narrowing as containers grow;\n"
+      "JVM9's isolated 2 cores can win on pure GC time at high container\n"
+      "counts (the isolation-vs-elasticity trade-off of §5.2).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig7();
+  arv::bench::register_case("fig7/sunflow/10containers/adaptive", [] {
+    run_adaptive(workloads::dacapo_suite()[3], 10);
+  });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 11: avoiding memory overcommitment in DaCapo — vanilla JDK 8
+// (heap sized from host RAM) vs the §4.2 elastic heap, in a container with
+// a 1 GiB hard memory limit, no -Xmx, -Xms 500 MiB.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace arv;
+using namespace arv::bench;
+
+jvm::JvmStats run_fig11(const jvm::JavaWorkload& w, bool elastic) {
+  harness::JvmScenario scenario(paper_host());
+  harness::JvmInstanceConfig config;
+  config.container.name = "dacapo";
+  config.container.mem_limit = 1 * GiB;
+  config.container.enable_resource_view = elastic;
+  if (elastic) {
+    config.flags.kind = jvm::JvmKind::kAdaptive;
+    config.flags.elastic_heap = true;
+    config.flags.heap_poll_interval = 200 * msec;  // compressed timescale
+  } else {
+    config.flags.kind = jvm::JvmKind::kVanilla8;  // max heap = phys/4 = 32 GiB
+  }
+  config.flags.xms = 500 * MiB;
+  config.workload = w;
+  const auto idx = scenario.add(config);
+  scenario.try_run(14400 * sec);
+  return scenario.jvm(idx).stats();
+}
+
+void print_fig11() {
+  print_header("Figure 11",
+               "elastic heap vs vanilla in a 1 GiB container (relative to "
+               "vanilla; lower is better)");
+  Table table({"benchmark", "exec Vanilla", "exec Elastic", "gc Vanilla",
+               "gc Elastic", "vanilla swapped?"});
+  for (const auto& w : workloads::dacapo_suite()) {
+    const auto vanilla = run_fig11(w, false);
+    const auto elastic = run_fig11(w, true);
+    const double exec_rel = static_cast<double>(elastic.exec_time()) /
+                            static_cast<double>(vanilla.exec_time());
+    const double gc_rel =
+        vanilla.gc_time() > 0 ? static_cast<double>(elastic.gc_time()) /
+                                    static_cast<double>(vanilla.gc_time())
+                              : 1.0;
+    table.add_row({w.name, "1.00", strf("%.3f", exec_rel), "1.00",
+                   strf("%.3f", gc_rel),
+                   vanilla.stall_time > 0 ? "yes" : "no"});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "paper shape: benchmarks that stay under 1 GiB see no change; the\n"
+      "allocation-heavy ones (lusearch, xalan) collapse into swap under\n"
+      "vanilla and the elastic heap is an order of magnitude faster (at the\n"
+      "cost of more frequent collections).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig11();
+  arv::bench::register_case("fig11/xalan/elastic", [] {
+    run_fig11(workloads::dacapo_suite()[4], true);
+  });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// §5.4 overhead table: the cost of maintaining and querying the adaptive
+// resource view, measured on *this* implementation with real wall-clock
+// timing (google-benchmark proper). The paper reports, on its testbed:
+// sys_namespace update ~1 us; sysconf effective-CPU query ~5 us; effective-
+// memory query ~100 us.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/common.h"
+#include "src/workloads/hogs.h"
+
+namespace {
+
+using namespace arv;
+using namespace arv::bench;
+
+struct OverheadFixture {
+  explicit OverheadFixture(int containers) : host(paper_host()), runtime(host) {
+    for (int i = 0; i < containers; ++i) {
+      container::ContainerConfig config;
+      config.name = "c" + std::to_string(i);
+      config.mem_limit = 4 * GiB;
+      config.mem_soft_limit = 2 * GiB;
+      containers_.push_back(&runtime.run(config));
+      hogs.push_back(std::make_unique<workloads::CpuHog>(
+          host, *containers_.back(), 2, 36000 * sec));
+    }
+    host.run_for(100 * msec);  // warm up usage counters
+  }
+
+  container::Host host;
+  container::ContainerRuntime runtime;
+  std::vector<container::Container*> containers_;
+  std::vector<std::unique_ptr<workloads::CpuHog>> hogs;
+};
+
+/// One full Ns_Monitor round (all registered sys_namespaces): the paper's
+/// "update to a sys_namespace takes 1 us" analogue, amortized per container.
+void BM_SysNamespaceUpdateRound(benchmark::State& state) {
+  OverheadFixture fixture(static_cast<int>(state.range(0)));
+  SimTime fake_now = fixture.host.now();
+  for (auto _ : state) {
+    fake_now += 24000;
+    fixture.host.monitor().update_all(fake_now);
+  }
+  state.counters["containers"] =
+      static_cast<double>(fixture.host.monitor().registered_count());
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SysNamespaceUpdateRound)->Arg(1)->Arg(5)->Arg(10)->Arg(50);
+
+/// sysconf(_SC_NPROCESSORS_ONLN) through the virtual sysfs (effective CPU).
+void BM_SysconfEffectiveCpu(benchmark::State& state) {
+  OverheadFixture fixture(5);
+  const proc::Pid pid = fixture.containers_[0]->init_pid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.host.sysfs().sysconf(pid, vfs::Sysconf::kNProcessorsOnln));
+  }
+}
+BENCHMARK(BM_SysconfEffectiveCpu);
+
+/// sysconf(_SC_PHYS_PAGES) — the effective-memory query path.
+void BM_SysconfEffectiveMemory(benchmark::State& state) {
+  OverheadFixture fixture(5);
+  const proc::Pid pid = fixture.containers_[0]->init_pid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.host.sysfs().sysconf(pid, vfs::Sysconf::kPhysPages));
+  }
+}
+BENCHMARK(BM_SysconfEffectiveMemory);
+
+/// Reading /sys/devices/system/cpu/online from inside a container (string
+/// materialization included, like a real read(2) of the pseudo-file).
+void BM_VirtualSysfsCpuOnlineRead(benchmark::State& state) {
+  OverheadFixture fixture(5);
+  const proc::Pid pid = fixture.containers_[0]->init_pid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.host.sysfs().read(pid, "/sys/devices/system/cpu/online"));
+  }
+}
+BENCHMARK(BM_VirtualSysfsCpuOnlineRead);
+
+/// Reading /proc/meminfo from inside a container.
+void BM_VirtualSysfsMeminfoRead(benchmark::State& state) {
+  OverheadFixture fixture(5);
+  const proc::Pid pid = fixture.containers_[0]->init_pid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.host.sysfs().read(pid, "/proc/meminfo"));
+  }
+}
+BENCHMARK(BM_VirtualSysfsMeminfoRead);
+
+/// Host-side knob write (docker update): includes the cgroup notification
+/// fan-out that refreshes every registered sys_namespace.
+void BM_CgroupKnobWrite(benchmark::State& state) {
+  OverheadFixture fixture(5);
+  std::int64_t shares = 1024;
+  for (auto _ : state) {
+    shares = shares == 1024 ? 2048 : 1024;
+    fixture.host.sysfs().write("/sys/fs/cgroup/cpu/c0/cpu.shares",
+                               std::to_string(shares));
+  }
+}
+BENCHMARK(BM_CgroupKnobWrite);
+
+/// One simulated scheduler tick at increasing container counts — the cost
+/// of the whole fluid CFS model, for calibration.
+void BM_SchedulerTick(benchmark::State& state) {
+  OverheadFixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    fixture.host.engine().step();
+  }
+  state.counters["containers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SchedulerTick)->Arg(1)->Arg(5)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// container_top: a `docker stats`-style live view of the simulated host.
+//
+// Runs a mixed fleet (two JVM services, an OpenMP job, a batch CPU hog and
+// a memory hog) and prints a per-container resource table every simulated
+// second: actual CPU usage, effective CPUs, memory usage, effective memory.
+// Watch the effective columns track contention as containers come and go.
+//
+//   build/examples/container_top
+#include <cstdio>
+
+#include "src/harness/scenario.h"
+#include "src/omp/omp_runtime.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+#include "src/workloads/hogs.h"
+#include "src/workloads/java_suites.h"
+#include "src/workloads/npb.h"
+
+using namespace arv;
+using namespace arv::units;
+
+namespace {
+
+void print_top(container::Host& host, container::ContainerRuntime& docker,
+               const std::vector<std::string>& names,
+               std::vector<CpuTime>& last_usage) {
+  std::printf("\n=== t = %.1fs   (host: %d CPUs, free mem %s, loadavg %.1f) ===\n",
+              static_cast<double>(host.now()) / 1e6, host.cpus(),
+              format_bytes(host.memory().free_memory()).c_str(),
+              host.scheduler().loadavg());
+  Table table({"container", "cpu%", "E_CPU", "mem used", "E_MEM", "swapped"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto* c = docker.find(names[i]);
+    if (c == nullptr || !c->running()) {
+      continue;
+    }
+    const CpuTime usage = host.scheduler().total_usage(c->cgroup());
+    const double cpu_pct =
+        static_cast<double>(usage - last_usage[i]) / 1e6 * 100.0;
+    last_usage[i] = usage;
+    const auto view = c->resource_view();
+    table.add_row({c->name(), strf("%.0f%%", cpu_pct),
+                   view ? std::to_string(view->effective_cpus()) : "-",
+                   format_bytes(host.memory().usage(c->cgroup())),
+                   view ? format_bytes(view->effective_memory()) : "-",
+                   format_bytes(host.memory().swapped(c->cgroup()))});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  container::Host host;
+  container::ContainerRuntime docker(host);
+
+  // Two Java services.
+  auto h2 = *workloads::find_java_workload("h2");
+  h2.total_work = 8 * sec;
+  container::ContainerConfig db_config;
+  db_config.name = "orders-db";
+  db_config.mem_limit = 4 * GiB;
+  db_config.mem_soft_limit = 2 * GiB;
+  auto& db = docker.run(db_config);
+  jvm::Jvm db_jvm(host, db, {.kind = jvm::JvmKind::kAdaptive, .xmx = 2 * GiB}, h2);
+
+  auto xalan = *workloads::find_java_workload("xalan");
+  xalan.total_work = 5 * sec;
+  container::ContainerConfig etl_config;
+  etl_config.name = "etl";
+  auto& etl = docker.run(etl_config);
+  jvm::Jvm etl_jvm(host, etl,
+                   {.kind = jvm::JvmKind::kAdaptive, .xmx = 1 * GiB}, xalan);
+
+  // An OpenMP job with a quota.
+  container::ContainerConfig sim_config;
+  sim_config.name = "hpc-sim";
+  sim_config.cfs_quota_us = 600000;
+  auto& sim = docker.run(sim_config);
+  omp::OmpProcess sim_job(host, sim, omp::TeamStrategy::kAdaptive,
+                          *workloads::find_npb("mg"));
+
+  // Background pressure that retires mid-run.
+  container::ContainerConfig batch_config;
+  batch_config.name = "batch";
+  auto& batch = docker.run(batch_config);
+  workloads::CpuHog batch_load(host, batch, 12, 30 * sec);
+
+  container::ContainerConfig cache_config;
+  cache_config.name = "cache";
+  cache_config.mem_limit = 8 * GiB;
+  cache_config.mem_soft_limit = 4 * GiB;
+  auto& cache = docker.run(cache_config);
+  workloads::MemHog cache_load(host, cache, 6 * GiB, 2 * GiB);
+
+  const std::vector<std::string> names = {"orders-db", "etl", "hpc-sim", "batch",
+                                          "cache"};
+  std::vector<CpuTime> last_usage(names.size(), 0);
+  for (int tick = 0; tick < 10; ++tick) {
+    host.run_for(1 * sec);
+    print_top(host, docker, names, last_usage);
+  }
+  std::printf("\ndone: orders-db %s, etl %s, hpc-sim %s\n",
+              db_jvm.stats().completed ? "completed" : "running",
+              etl_jvm.stats().completed ? "completed" : "running",
+              sim_job.finished() ? "completed" : "running");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Container + ContainerRuntime — a docker-like front end over the simulated
+// kernel: `run` creates the cgroup, performs the namespace-setup /
+// exec / init-handover dance of §3.2, exports the cgroup knob files into
+// sysfs, and (optionally) attaches the adaptive resource view.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/container/host.h"
+#include "src/core/params.h"
+#include "src/core/sys_namespace.h"
+#include "src/util/cpuset.h"
+#include "src/util/types.h"
+
+namespace arv::container {
+
+struct ContainerConfig {
+  /// Empty => the runtime assigns "c<N>" (docker-style auto-naming).
+  std::string name;
+  /// cpu.shares (docker run --cpu-shares).
+  std::int64_t cpu_shares = 1024;
+  /// cpu.cfs_quota_us (docker run --cpu-quota); kUnlimited disables.
+  std::int64_t cfs_quota_us = kUnlimited;
+  SimDuration cfs_period_us = 100'000;
+  /// cpuset.cpus (docker run --cpuset-cpus); empty = all online CPUs.
+  CpuSet cpuset;
+  /// memory.limit_in_bytes (docker run --memory); kUnlimited disables.
+  Bytes mem_limit = kUnlimited;
+  /// memory.soft_limit_in_bytes (docker run --memory-reservation).
+  Bytes mem_soft_limit = kUnlimited;
+  /// Create the per-container sys_namespace (the paper's system). When
+  /// false the container behaves like stock Docker: host-wide sysfs values.
+  bool enable_resource_view = true;
+  core::Params view_params;
+};
+
+class Container {
+ public:
+  Container(Host& host, const ContainerConfig& config);
+
+  const std::string& name() const { return config_.name; }
+  cgroup::CgroupId cgroup() const { return cgroup_; }
+  /// The container's init process (the exec()ed workload, per §3.2).
+  proc::Pid init_pid() const { return init_pid_; }
+  bool running() const { return running_; }
+
+  /// The adaptive resource view; nullptr when enable_resource_view is off.
+  std::shared_ptr<core::SysNamespace> resource_view() const { return view_; }
+
+  /// Fork an additional process inside the container (inherits namespaces).
+  proc::Pid spawn_process(const std::string& comm);
+
+  // --- docker update analogues ---------------------------------------------
+  void update_cpu_shares(std::int64_t shares);
+  void update_cfs_quota(std::int64_t quota_us);
+  void update_cpuset(const CpuSet& mask);
+  void update_mem_limit(Bytes limit);
+  void update_mem_soft_limit(Bytes soft);
+
+  /// Terminate all container tasks and destroy the cgroup.
+  void stop();
+
+ private:
+  friend class ContainerRuntime;
+
+  Host& host_;
+  ContainerConfig config_;
+  cgroup::CgroupId cgroup_ = -1;
+  proc::Pid init_pid_ = -1;
+  std::shared_ptr<core::SysNamespace> view_;
+  bool running_ = false;
+};
+
+/// Factory owning the containers it creates (docker daemon analogue).
+class ContainerRuntime {
+ public:
+  explicit ContainerRuntime(Host& host) : host_(host) {}
+
+  /// docker run: create cgroup + namespaces, exec the workload, hand over
+  /// init ownership. The returned reference stays valid for the runtime's
+  /// lifetime.
+  Container& run(const ContainerConfig& config, const std::string& command = "app");
+
+  Container* find(const std::string& name);
+  std::size_t count() const { return containers_.size(); }
+
+ private:
+  Host& host_;
+  std::vector<std::unique_ptr<Container>> containers_;
+  int auto_name_counter_ = 0;
+};
+
+}  // namespace arv::container

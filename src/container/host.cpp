@@ -1,0 +1,27 @@
+#include "src/container/host.h"
+
+namespace arv::container {
+namespace {
+
+mem::Config with_ram(mem::Config config, Bytes ram) {
+  config.total_ram = ram;
+  return config;
+}
+
+}  // namespace
+
+Host::Host(const HostConfig& config)
+    : config_(config),
+      engine_(config.tick),
+      tree_(config.cpus),
+      scheduler_(tree_, config.cpus),
+      memory_(tree_, with_ram(config.mem, config.ram)),
+      processes_(),
+      monitor_(tree_, scheduler_, memory_),
+      sysfs_(processes_, tree_, scheduler_, memory_, monitor_) {
+  engine_.add_component(&scheduler_);
+  engine_.add_component(&memory_);
+  engine_.add_component(&monitor_);
+}
+
+}  // namespace arv::container

@@ -1,0 +1,57 @@
+// Host — the simulated machine: engine + kernel subsystems wired together.
+//
+// Owns the cgroup tree, the CFS-like scheduler, the memory manager, the
+// process table, the Ns_Monitor, and the virtual sysfs, and registers the
+// tick components in model order (scheduler grants CPU, then memory runs
+// kswapd, then the monitor recomputes resource views).
+#pragma once
+
+#include <memory>
+
+#include "src/cgroup/cgroup.h"
+#include "src/core/ns_monitor.h"
+#include "src/mem/memory_manager.h"
+#include "src/proc/process.h"
+#include "src/sched/fair_scheduler.h"
+#include "src/sim/engine.h"
+#include "src/vfs/virtual_sysfs.h"
+
+namespace arv::container {
+
+struct HostConfig {
+  int cpus = 20;                        ///< the paper's dual 10-core Xeon
+  Bytes ram = 128 * units::GiB;         ///< the paper's testbed memory
+  mem::Config mem;                      ///< total_ram is overwritten from `ram`
+  SimDuration tick = 1 * units::msec;
+};
+
+class Host {
+ public:
+  explicit Host(const HostConfig& config = {});
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  cgroup::Tree& cgroups() { return tree_; }
+  sched::FairScheduler& scheduler() { return scheduler_; }
+  mem::MemoryManager& memory() { return memory_; }
+  proc::ProcessTable& processes() { return processes_; }
+  core::NsMonitor& monitor() { return monitor_; }
+  vfs::VirtualSysfs& sysfs() { return sysfs_; }
+
+  int cpus() const { return config_.cpus; }
+  SimTime now() const { return engine_.now(); }
+  void run_for(SimDuration duration) { engine_.run_for(duration); }
+
+ private:
+  HostConfig config_;
+  sim::Engine engine_;
+  cgroup::Tree tree_;
+  sched::FairScheduler scheduler_;
+  mem::MemoryManager memory_;
+  proc::ProcessTable processes_;
+  core::NsMonitor monitor_;
+  vfs::VirtualSysfs sysfs_;
+};
+
+}  // namespace arv::container

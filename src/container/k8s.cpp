@@ -1,0 +1,129 @@
+#include "src/container/k8s.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "src/util/assert.h"
+
+namespace arv::container {
+
+QosClass qos_class(const K8sResources& r) {
+  const bool any = r.request_millicpu > 0 || r.limit_millicpu > 0 ||
+                   r.request_memory > 0 || r.limit_memory > 0;
+  if (!any) {
+    return QosClass::kBestEffort;
+  }
+  // Guaranteed: limits set for both resources and requests equal to them
+  // (unset requests default to limits).
+  const bool cpu_guaranteed =
+      r.limit_millicpu > 0 &&
+      (r.request_millicpu == 0 || r.request_millicpu == r.limit_millicpu);
+  const bool mem_guaranteed =
+      r.limit_memory > 0 &&
+      (r.request_memory == 0 || r.request_memory == r.limit_memory);
+  return cpu_guaranteed && mem_guaranteed ? QosClass::kGuaranteed
+                                          : QosClass::kBurstable;
+}
+
+ContainerConfig pod_container(const std::string& name, const K8sResources& r,
+                              bool enable_view) {
+  ARV_ASSERT(r.request_millicpu >= 0 && r.limit_millicpu >= 0);
+  ARV_ASSERT(r.request_memory >= 0 && r.limit_memory >= 0);
+  ARV_ASSERT_MSG(r.limit_millicpu == 0 || r.request_millicpu <= r.limit_millicpu,
+                 "cpu request exceeds limit");
+  ARV_ASSERT_MSG(r.limit_memory == 0 || r.request_memory <= r.limit_memory,
+                 "memory request exceeds limit");
+  ContainerConfig config;
+  config.name = name;
+  config.enable_resource_view = enable_view;
+  if (r.request_millicpu > 0) {
+    // kubelet: MilliCPUToShares, clamped to the kernel minimum of 2.
+    config.cpu_shares = std::max<std::int64_t>(2, r.request_millicpu * 1024 / 1000);
+  }
+  if (r.limit_millicpu > 0) {
+    // kubelet: MilliCPUToQuota with the default 100 ms period.
+    config.cfs_period_us = 100'000;
+    config.cfs_quota_us = r.limit_millicpu * config.cfs_period_us / 1000;
+  }
+  if (r.limit_memory > 0) {
+    config.mem_limit = r.limit_memory;
+  }
+  if (r.request_memory > 0) {
+    config.mem_soft_limit = r.request_memory;
+  }
+  return config;
+}
+
+std::int64_t parse_cpu_quantity(const std::string& text) {
+  if (text.empty()) {
+    return -1;
+  }
+  if (text.back() == 'm') {
+    std::int64_t milli = 0;
+    const auto* end = text.data() + text.size() - 1;
+    const auto [ptr, ec] = std::from_chars(text.data(), end, milli);
+    return ec == std::errc{} && ptr == end && milli >= 0 ? milli : -1;
+  }
+  // Whole (or fractional) cores.
+  double cores = 0;
+  try {
+    std::size_t used = 0;
+    cores = std::stod(text, &used);
+    if (used != text.size() || cores < 0) {
+      return -1;
+    }
+  } catch (...) {
+    return -1;
+  }
+  return static_cast<std::int64_t>(cores * 1000.0 + 0.5);
+}
+
+Bytes parse_memory_quantity(const std::string& text) {
+  if (text.empty()) {
+    return -1;
+  }
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.')) {
+    ++pos;
+  }
+  if (pos == 0) {
+    return -1;
+  }
+  double value = 0;
+  try {
+    std::size_t used = 0;
+    value = std::stod(text.substr(0, pos), &used);
+    if (used != pos || value < 0) {
+      return -1;
+    }
+  } catch (...) {
+    return -1;
+  }
+  const std::string suffix = text.substr(pos);
+  double scale = 1.0;
+  if (suffix == "") {
+    scale = 1.0;
+  } else if (suffix == "Ki") {
+    scale = 1024.0;
+  } else if (suffix == "Mi") {
+    scale = 1024.0 * 1024.0;
+  } else if (suffix == "Gi") {
+    scale = 1024.0 * 1024.0 * 1024.0;
+  } else if (suffix == "Ti") {
+    scale = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else if (suffix == "k" || suffix == "K") {
+    scale = 1e3;
+  } else if (suffix == "M") {
+    scale = 1e6;
+  } else if (suffix == "G") {
+    scale = 1e9;
+  } else if (suffix == "T") {
+    scale = 1e12;
+  } else {
+    return -1;
+  }
+  return static_cast<Bytes>(value * scale);
+}
+
+}  // namespace arv::container

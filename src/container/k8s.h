@@ -1,0 +1,52 @@
+// Kubernetes-style resource specification mapping.
+//
+// The paper's introduction motivates the work with cluster managers (Mesos,
+// YARN, Kubernetes) that use containers as their allocation unit. This
+// helper reproduces how kubelet translates a pod container's
+// `resources.requests` / `resources.limits` into cgroup knobs:
+//
+//   cpu.shares        = requests.cpu (milli) * 1024 / 1000   (min 2)
+//   cpu.cfs_quota_us  = limits.cpu (milli) * period / 1000
+//   memory.limit      = limits.memory
+//   memory.soft_limit = requests.memory
+//
+// so that experiments (and users) can express scenarios in familiar
+// Kubernetes units and get exactly the cgroup configuration a real node
+// would apply — including the semantic gap that comes with it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/container/container.h"
+
+namespace arv::container {
+
+struct K8sResources {
+  /// requests.cpu in millicores ("500m" => 500); 0 = unset.
+  std::int64_t request_millicpu = 0;
+  /// limits.cpu in millicores; 0 = unset (no quota).
+  std::int64_t limit_millicpu = 0;
+  /// requests.memory in bytes; 0 = unset.
+  Bytes request_memory = 0;
+  /// limits.memory in bytes; 0 = unset (no hard limit).
+  Bytes limit_memory = 0;
+};
+
+/// QoS class, derived exactly as Kubernetes does.
+enum class QosClass { kGuaranteed, kBurstable, kBestEffort };
+
+QosClass qos_class(const K8sResources& resources);
+
+/// Translate a pod-container spec into a ContainerConfig (kubelet's cgroup
+/// mapping). The adaptive resource view is enabled by default — pass
+/// `enable_view = false` for a stock-Kubernetes container.
+ContainerConfig pod_container(const std::string& name, const K8sResources& resources,
+                              bool enable_view = true);
+
+/// Parse Kubernetes quantity strings: "500m"/"2" for CPU (millicores),
+/// "512Mi"/"4Gi"/"1G" for memory (bytes). Returns -1 on malformed input.
+std::int64_t parse_cpu_quantity(const std::string& text);
+Bytes parse_memory_quantity(const std::string& text);
+
+}  // namespace arv::container

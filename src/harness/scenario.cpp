@@ -1,0 +1,117 @@
+#include "src/harness/scenario.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+#include "src/util/str.h"
+
+namespace arv::harness {
+
+JvmScenario::JvmScenario(const container::HostConfig& host_config)
+    : host_(std::make_unique<container::Host>(host_config)),
+      runtime_(std::make_unique<container::ContainerRuntime>(*host_)) {}
+
+std::size_t JvmScenario::add(const JvmInstanceConfig& config) {
+  container::Container& target = runtime_->run(config.container, "java");
+  containers_.push_back(&target);
+  jvms_.push_back(
+      std::make_unique<jvm::Jvm>(*host_, target, config.flags, config.workload));
+  return jvms_.size() - 1;
+}
+
+void JvmScenario::add_cpu_hog(const container::ContainerConfig& config, int threads,
+                              SimDuration cpu_budget) {
+  container::ContainerConfig hog_config = config;
+  if (hog_config.name.empty()) {
+    hog_config.name = strf("cpu-hog-%d", hog_counter_++);
+  }
+  container::Container& target = runtime_->run(hog_config, "sysbench");
+  cpu_hogs_.push_back(
+      std::make_unique<workloads::CpuHog>(*host_, target, threads, cpu_budget));
+}
+
+void JvmScenario::add_mem_hog(const container::ContainerConfig& config,
+                              Bytes footprint, Bytes charge_per_sec) {
+  container::ContainerConfig hog_config = config;
+  if (hog_config.name.empty()) {
+    hog_config.name = strf("mem-hog-%d", hog_counter_++);
+  }
+  container::Container& target = runtime_->run(hog_config, "memhog");
+  mem_hogs_.push_back(std::make_unique<workloads::MemHog>(*host_, target, footprint,
+                                                          charge_per_sec));
+}
+
+void JvmScenario::run(SimDuration deadline) {
+  ARV_ASSERT_MSG(try_run(deadline),
+                 "scenario deadline exceeded before all JVMs finished");
+}
+
+bool JvmScenario::try_run(SimDuration deadline) {
+  const SimTime limit = host_->now() + deadline;
+  return host_->engine().run_until(
+      [this] {
+        return std::all_of(jvms_.begin(), jvms_.end(),
+                           [](const auto& j) { return j->finished(); });
+      },
+      limit);
+}
+
+std::vector<JvmRunResult> JvmScenario::results() const {
+  std::vector<JvmRunResult> out;
+  out.reserve(jvms_.size());
+  for (std::size_t i = 0; i < jvms_.size(); ++i) {
+    out.push_back(JvmRunResult{containers_[i]->name(), jvms_[i]->workload().name,
+                               jvms_[i]->stats()});
+  }
+  return out;
+}
+
+OmpScenario::OmpScenario(const container::HostConfig& host_config)
+    : host_(std::make_unique<container::Host>(host_config)),
+      runtime_(std::make_unique<container::ContainerRuntime>(*host_)) {}
+
+std::size_t OmpScenario::add(const OmpInstanceConfig& config) {
+  container::Container& target = runtime_->run(config.container, "omp");
+  containers_.push_back(&target);
+  processes_.push_back(std::make_unique<omp::OmpProcess>(
+      *host_, target, config.strategy, config.workload, config.fixed_threads));
+  return processes_.size() - 1;
+}
+
+void OmpScenario::run(SimDuration deadline) {
+  const SimTime limit = host_->now() + deadline;
+  const bool done = host_->engine().run_until(
+      [this] {
+        return std::all_of(processes_.begin(), processes_.end(),
+                           [](const auto& p) { return p->finished(); });
+      },
+      limit);
+  ARV_ASSERT_MSG(done, "scenario deadline exceeded before all programs finished");
+}
+
+std::vector<OmpRunResult> OmpScenario::results() const {
+  std::vector<OmpRunResult> out;
+  out.reserve(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    out.push_back(OmpRunResult{containers_[i]->name(),
+                               processes_[i]->workload().name,
+                               processes_[i]->stats()});
+  }
+  return out;
+}
+
+HeapTimeline::HeapTimeline(container::Host& host, const jvm::Jvm& jvm,
+                           SimDuration interval)
+    : host_(host), jvm_(jvm), interval_(interval) {
+  ARV_ASSERT(interval > 0);
+  schedule_next();
+}
+
+void HeapTimeline::schedule_next() {
+  host_.engine().schedule_after(interval_, [this] {
+    samples_.push_back(jvm_.sample_heap());
+    schedule_next();
+  });
+}
+
+}  // namespace arv::harness

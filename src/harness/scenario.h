@@ -1,0 +1,122 @@
+// Experiment harness: declarative multi-container scenarios.
+//
+// Every figure in §5 is some arrangement of "N containers with these cgroup
+// limits, each running this workload under this JVM/OpenMP configuration;
+// run to completion; report exec/GC time". JvmScenario and OmpScenario build
+// that arrangement on a fresh simulated Host and run it deterministically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/container/container.h"
+#include "src/jvm/jvm.h"
+#include "src/omp/omp_runtime.h"
+#include "src/workloads/hogs.h"
+
+namespace arv::harness {
+
+struct JvmInstanceConfig {
+  container::ContainerConfig container;
+  jvm::JvmFlags flags;
+  jvm::JavaWorkload workload;
+};
+
+struct JvmRunResult {
+  std::string container;
+  std::string benchmark;
+  jvm::JvmStats stats;
+};
+
+class JvmScenario {
+ public:
+  explicit JvmScenario(const container::HostConfig& host_config = {});
+
+  /// Add one container+JVM pair; returns its index.
+  std::size_t add(const JvmInstanceConfig& config);
+
+  /// Add a background sysbench-style CPU hog in its own container.
+  void add_cpu_hog(const container::ContainerConfig& config, int threads,
+                   SimDuration cpu_budget);
+
+  /// Add a background memory hog in its own container.
+  void add_mem_hog(const container::ContainerConfig& config, Bytes footprint,
+                   Bytes charge_per_sec);
+
+  /// Run until every JVM reaches a terminal state (completed / OOM / killed)
+  /// or `deadline` of simulated time passes. Hogs do not gate completion.
+  void run(SimDuration deadline = 3600 * units::sec);
+
+  /// Like run(), but returns false instead of aborting when the deadline
+  /// expires — for experiments where a configuration is *expected* to hang
+  /// (e.g. the thrashing vanilla JVMs of Figure 12(c)).
+  bool try_run(SimDuration deadline);
+
+  container::Host& host() { return *host_; }
+  container::ContainerRuntime& runtime() { return *runtime_; }
+  jvm::Jvm& jvm(std::size_t index) { return *jvms_.at(index); }
+  std::size_t size() const { return jvms_.size(); }
+
+  std::vector<JvmRunResult> results() const;
+
+ private:
+  std::unique_ptr<container::Host> host_;
+  std::unique_ptr<container::ContainerRuntime> runtime_;
+  std::vector<container::Container*> containers_;
+  std::vector<std::unique_ptr<jvm::Jvm>> jvms_;
+  std::vector<std::unique_ptr<workloads::CpuHog>> cpu_hogs_;
+  std::vector<std::unique_ptr<workloads::MemHog>> mem_hogs_;
+  int hog_counter_ = 0;
+};
+
+struct OmpInstanceConfig {
+  container::ContainerConfig container;
+  omp::TeamStrategy strategy = omp::TeamStrategy::kStatic;
+  omp::OmpWorkload workload;
+  int fixed_threads = 0;
+};
+
+struct OmpRunResult {
+  std::string container;
+  std::string benchmark;
+  omp::OmpStats stats;
+};
+
+class OmpScenario {
+ public:
+  explicit OmpScenario(const container::HostConfig& host_config = {});
+
+  std::size_t add(const OmpInstanceConfig& config);
+  void run(SimDuration deadline = 3600 * units::sec);
+
+  container::Host& host() { return *host_; }
+  omp::OmpProcess& process(std::size_t index) { return *processes_.at(index); }
+  std::size_t size() const { return processes_.size(); }
+
+  std::vector<OmpRunResult> results() const;
+
+ private:
+  std::unique_ptr<container::Host> host_;
+  std::unique_ptr<container::ContainerRuntime> runtime_;
+  std::vector<container::Container*> containers_;
+  std::vector<std::unique_ptr<omp::OmpProcess>> processes_;
+};
+
+/// Samples one JVM's heap geometry every `interval` — Figure 12's series.
+class HeapTimeline {
+ public:
+  HeapTimeline(container::Host& host, const jvm::Jvm& jvm, SimDuration interval);
+
+  const std::vector<jvm::HeapSample>& samples() const { return samples_; }
+
+ private:
+  void schedule_next();
+
+  container::Host& host_;
+  const jvm::Jvm& jvm_;
+  SimDuration interval_;
+  std::vector<jvm::HeapSample> samples_;
+};
+
+}  // namespace arv::harness

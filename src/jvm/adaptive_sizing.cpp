@@ -1,0 +1,65 @@
+#include "src/jvm/adaptive_sizing.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace arv::jvm {
+
+SizingDecision AdaptiveSizePolicy::after_minor(const MinorObservation& obs) const {
+  ARV_ASSERT(obs.pause >= 0 && obs.mutator_interval >= 0);
+  SizingDecision decision;
+  decision.young_target = obs.young_committed;
+  decision.old_target = obs.old_committed;
+
+  // Promotion pressure overrides the pause/footprint goals: when the old
+  // generation is close to its limit, young cedes exactly enough budget
+  // that OldMax (VirtualMax minus committed young) regains headroom over
+  // the old generation's live data.
+  if (obs.old_max != kUnlimited &&
+      static_cast<double>(obs.old_used) >
+          config_.old_pressure_trigger * static_cast<double>(obs.old_max)) {
+    const Bytes budget = obs.old_max + obs.young_committed;  // == VirtualMax
+    const Bytes young_for_headroom = budget - static_cast<Bytes>(
+        1.15 * static_cast<double>(obs.old_used));
+    decision.young_target = std::min(
+        static_cast<Bytes>(static_cast<double>(obs.young_committed) *
+                           config_.young_shrink_factor),
+        std::max<Bytes>(young_for_headroom, 0));
+    decision.old_target = static_cast<Bytes>(
+        static_cast<double>(obs.old_used) * config_.old_headroom);
+    return decision;
+  }
+
+  const double pause = std::max<double>(1.0, static_cast<double>(obs.pause));
+  const double interval = static_cast<double>(obs.mutator_interval);
+  if (interval < config_.grow_ratio * pause) {
+    // Collections are back-to-back: GC overhead above goal, grow eden.
+    decision.young_target = static_cast<Bytes>(
+        static_cast<double>(obs.young_committed) * config_.young_grow_factor);
+  } else if (interval > config_.shrink_ratio * pause) {
+    // Footprint goal: the heap is larger than the allocation rate needs.
+    decision.young_target = static_cast<Bytes>(
+        static_cast<double>(obs.young_committed) * config_.young_shrink_factor);
+  }
+
+  if (static_cast<double>(obs.old_used) >
+      config_.old_grow_trigger * static_cast<double>(obs.old_committed)) {
+    decision.old_target = static_cast<Bytes>(
+        static_cast<double>(obs.old_used) * config_.old_headroom);
+  }
+  return decision;
+}
+
+SizingDecision AdaptiveSizePolicy::after_major(const MajorObservation& obs) const {
+  SizingDecision decision;
+  decision.young_target = obs.young_committed;
+  // Re-center the old generation around its live data with headroom; a
+  // major collection is the only point with an exact live measurement.
+  decision.old_target = std::max(
+      obs.old_committed / 2,
+      static_cast<Bytes>(static_cast<double>(obs.old_live) * config_.old_headroom));
+  return decision;
+}
+
+}  // namespace arv::jvm

@@ -1,0 +1,65 @@
+// AdaptiveSizePolicy — a compact model of HotSpot's PS ergonomics.
+//
+// After every collection HotSpot's adaptive sizing nudges the committed
+// generation sizes toward a GC-overhead goal: grow the young generation when
+// collections come too close together (high GC overhead), shrink it when the
+// mutator runs long between collections (wasted footprint), and keep the old
+// generation comfortably above its live data. The §4.2 elastic heap reuses
+// this machinery unchanged — it only moves the *limits* the policy respects.
+#pragma once
+
+#include "src/util/types.h"
+
+namespace arv::jvm {
+
+struct SizingConfig {
+  /// Grow young when mutator time between minors < grow_ratio * pause.
+  double grow_ratio = 15.0;
+  /// Shrink young when mutator time between minors > shrink_ratio * pause.
+  double shrink_ratio = 120.0;
+  double young_grow_factor = 1.5;
+  double young_shrink_factor = 0.85;
+  /// Keep old committed at least this factor over its live data.
+  double old_headroom = 1.5;
+  /// Grow old when used exceeds this fraction of committed.
+  double old_grow_trigger = 0.70;
+  /// Promotion pressure: when old usage exceeds this fraction of OldMax,
+  /// shrink the young generation to cede budget to old (HotSpot balances
+  /// the generations the same way when the old gen nears its limit).
+  double old_pressure_trigger = 0.85;
+};
+
+struct MinorObservation {
+  SimDuration pause;            ///< duration of the minor collection
+  SimDuration mutator_interval; ///< mutator time since the previous minor
+  Bytes young_committed;
+  Bytes old_committed;
+  Bytes old_used;               ///< after promotion
+  Bytes old_max = kUnlimited;   ///< current OldMax (VirtualMax - young)
+};
+
+struct MajorObservation {
+  Bytes old_live;  ///< old-generation live data after compaction
+  Bytes old_committed;
+  Bytes young_committed;
+};
+
+struct SizingDecision {
+  Bytes young_target;
+  Bytes old_target;
+};
+
+class AdaptiveSizePolicy {
+ public:
+  explicit AdaptiveSizePolicy(SizingConfig config = {}) : config_(config) {}
+
+  SizingDecision after_minor(const MinorObservation& obs) const;
+  SizingDecision after_major(const MajorObservation& obs) const;
+
+  const SizingConfig& config() const { return config_; }
+
+ private:
+  SizingConfig config_;
+};
+
+}  // namespace arv::jvm

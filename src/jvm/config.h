@@ -1,0 +1,105 @@
+// JVM model configuration: which JDK generation's container-awareness the
+// instance emulates, its command-line-ish flags, and the cost-model
+// coefficients of the synthetic Java workload it runs.
+#pragma once
+
+#include <string>
+
+#include "src/util/types.h"
+
+namespace arv::jvm {
+
+/// Which container-awareness generation this JVM instance emulates (§2.2,
+/// §5): how it probes CPUs/memory at launch and per GC.
+enum class JvmKind {
+  /// JDK 8 and earlier: probes online CPUs and physical memory through
+  /// sysconf; completely container-oblivious.
+  kVanilla8,
+  /// JDK 9: reads the container's static CPU limit (cpuset mask, else
+  /// cfs_quota) and hard memory limit at launch.
+  kJdk9,
+  /// JDK 10: additionally derives a static CPU count from cpu.shares.
+  kJdk10,
+  /// Hand-optimized baseline: every knob pinned by the experimenter.
+  kOptTuned,
+  /// The paper's system: launch-time maximum pool + per-GC adjustment from
+  /// the adaptive resource view (effective CPU / effective memory).
+  kAdaptive,
+};
+
+/// Launch flags (the subset of java(1) options the experiments vary).
+struct JvmFlags {
+  JvmKind kind = JvmKind::kVanilla8;
+
+  /// -XX:+UseDynamicNumberOfGCThreads — HotSpot's existing heuristic that
+  /// activates only min(N, N_active) workers per collection.
+  bool dynamic_gc_threads = true;
+
+  /// §4.2 elastic heap (VirtualMax / YoungMax / OldMax); only meaningful
+  /// with kAdaptive.
+  bool elastic_heap = false;
+
+  /// -Xms / -Xmx; 0 means "let the policy decide" (ergonomics).
+  Bytes xms = 0;
+  Bytes xmx = 0;
+
+  /// kOptTuned: exact GC thread count to use for every collection.
+  int fixed_gc_threads = 0;
+
+  /// How often the elastic heap re-reads effective memory (paper: 10 s).
+  SimDuration heap_poll_interval = 10 * units::sec;
+};
+
+/// Synthetic Java workload parameters (per-benchmark tables live in
+/// src/workloads). The mutator is a fluid model: it performs CPU work,
+/// allocates at a fixed rate per CPU-second, and keeps a fixed live set.
+struct JavaWorkload {
+  std::string name = "synthetic";
+
+  /// Total mutator CPU time to complete the benchmark.
+  SimDuration total_work = 10 * units::sec;
+
+  /// Number of application (mutator) threads.
+  int mutator_threads = 4;
+
+  /// Allocation rate while mutating, bytes per CPU-second.
+  Bytes alloc_per_cpu_sec = 256 * units::MiB;
+
+  /// Steady-state live data (survives collections; bounds the min heap).
+  Bytes live_set = 96 * units::MiB;
+
+  /// Fraction of eden bytes still live at a minor collection.
+  double survival_ratio = 0.10;
+
+  /// GC cost: CPU time to scan one MiB of live data.
+  SimDuration gc_cost_per_mib = 600;  // us
+
+  /// Fixed CPU cost per collection (root scanning, termination...).
+  SimDuration gc_fixed_cost = 2 * units::msec;
+
+  /// Synchronization-overhead coefficient: each extra GC worker adds this
+  /// fraction of serialized work (sub-linear GC scalability, [11, 29]).
+  double gc_alpha = 0.03;
+
+  /// Oversubscription penalty: efficiency divisor grows by this per GC
+  /// thread beyond the CPUs actually granted (over-threading, §2.2).
+  double gc_beta = 0.25;
+
+  /// Fraction of the live set the mutator touches per CPU-second (drives
+  /// swap-in traffic when pages were reclaimed).
+  double touch_rate = 1.0;
+
+  /// Fraction of every allocated byte that stays live forever — 0 for
+  /// steady-state benchmarks, > 0 for leak-style workloads like the §5.3
+  /// micro-benchmark (allocate 1 MiB, free 512 KiB per iteration => 0.5).
+  double live_fraction_of_alloc = 0.0;
+};
+
+/// Derived quantity used by the experiments (§5.1: "heap sizes ... were set
+/// to 3x of their respective minimum heap sizes").
+inline Bytes min_heap_of(const JavaWorkload& w) {
+  // Live set plus one survivor-sized slack, rounded to pages.
+  return page_align_up(w.live_set + w.live_set / 4);
+}
+
+}  // namespace arv::jvm

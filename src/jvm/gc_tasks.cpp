@@ -1,0 +1,156 @@
+#include "src/jvm/gc_tasks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace arv::jvm {
+
+void GcTaskQueue::push(GcTask task) {
+  ARV_ASSERT(task.work >= 0);
+  tasks_.push_back(task);
+}
+
+void GcTaskQueue::clear() { tasks_.clear(); }
+
+GcTask GcTaskQueue::pop() {
+  ARV_ASSERT_MSG(!tasks_.empty(), "pop from empty GCTaskQueue");
+  const GcTask task = tasks_.front();
+  tasks_.pop_front();
+  return task;
+}
+
+namespace {
+
+/// Scan granularity: one ScavengeRootsTask per this many bytes, mirroring
+/// HotSpot's stripe-sized task decomposition.
+constexpr Bytes kBytesPerTask = 4 * units::MiB;
+
+}  // namespace
+
+void GcSession::begin(GcPhase phase, SimTime now, int workers, Bytes live_bytes,
+                      SimDuration cost_per_mib, SimDuration fixed_cost,
+                      double alpha, double beta) {
+  ARV_ASSERT_MSG(phase_ == GcPhase::kIdle, "GC already in progress");
+  ARV_ASSERT(phase != GcPhase::kIdle);
+  ARV_ASSERT(workers >= 1);
+  ARV_ASSERT(live_bytes >= 0);
+  phase_ = phase;
+  workers_ = workers;
+  alpha_ = alpha;
+  beta_ = beta;
+  start_ = now;
+  scanned_ = 0;
+  cpu_spent_ = 0;
+  queue_.clear();
+  tasks_per_worker_.assign(static_cast<std::size_t>(workers), 0);
+  next_worker_ = 0;
+
+  // Fixed root work, split between the root-scanning task types.
+  queue_.push({GcTaskKind::kOldToYoungRoots, fixed_cost / 2, 0});
+  queue_.push({GcTaskKind::kScavengeRoots, fixed_cost / 4, 0});
+
+  // Stripe the live data into scan tasks.
+  const std::int64_t stripes = std::max<std::int64_t>(1, ceil_div(live_bytes, kBytesPerTask));
+  const CpuTime scan_work = live_bytes * cost_per_mib / units::MiB;
+  for (std::int64_t i = 0; i < stripes; ++i) {
+    const Bytes lo = std::min<Bytes>(live_bytes, i * kBytesPerTask);
+    const Bytes hi = std::min<Bytes>(live_bytes, (i + 1) * kBytesPerTask);
+    if (hi == lo && live_bytes > 0) {
+      continue;
+    }
+    queue_.push({GcTaskKind::kSteal, scan_work / std::max<std::int64_t>(1, stripes),
+                 hi - lo});
+  }
+
+  // Reference processing + final (termination) work.
+  queue_.push({GcTaskKind::kRefProc, fixed_cost / 8, 0});
+  queue_.push({GcTaskKind::kFinal, fixed_cost / 8, 0});
+}
+
+Bytes GcSession::advance(CpuTime grant, SimDuration dt) {
+  ARV_ASSERT(active());
+  ARV_ASSERT(grant >= 0 && dt > 0);
+  if (grant == 0 || queue_.empty()) {
+    return 0;
+  }
+  cpu_spent_ += grant;
+
+  // Efficiency curve: synchronization overhead per extra worker, plus the
+  // over-threading penalty when woken workers exceed granted CPUs.
+  const double granted_cpus =
+      static_cast<double>(grant) / static_cast<double>(dt);
+  const double oversub =
+      std::max(0.0, static_cast<double>(workers_) - granted_cpus);
+  const double efficiency = 1.0 /
+                            (1.0 + alpha_ * static_cast<double>(workers_ - 1)) /
+                            (1.0 + beta_ * oversub);
+  CpuTime useful = static_cast<CpuTime>(static_cast<double>(grant) * efficiency);
+
+  Bytes scanned_now = 0;
+  while (!queue_.empty()) {
+    const GcTask head = queue_.pop();
+    if (head.work > useful) {
+      // Partially processed: split the task and push the remainder back to
+      // the front by re-pushing a shrunken copy (order preserved via deque
+      // push to front is not exposed; track as carry against this task).
+      const double frac = static_cast<double>(useful) / static_cast<double>(head.work);
+      const Bytes part = static_cast<Bytes>(static_cast<double>(head.bytes_scanned) * frac);
+      scanned_now += part;
+      GcTask rest = head;
+      rest.work -= useful;
+      rest.bytes_scanned -= part;
+      // Reinsert remainder at the head position.
+      GcTaskQueue rebuilt;
+      rebuilt.push(rest);
+      while (!queue_.empty()) {
+        rebuilt.push(queue_.pop());
+      }
+      queue_ = std::move(rebuilt);
+      break;
+    }
+    useful -= head.work;
+    scanned_now += head.bytes_scanned;
+    // Dynamic work assignment bookkeeping: round-robin in the fluid model.
+    tasks_per_worker_[next_worker_] += 1;
+    next_worker_ = (next_worker_ + 1) % tasks_per_worker_.size();
+  }
+  scanned_ += scanned_now;
+  return scanned_now;
+}
+
+GcSessionResult GcSession::finish(SimTime now) {
+  ARV_ASSERT(active());
+  ARV_ASSERT_MSG(queue_.empty(), "finishing a GC with tasks outstanding");
+  GcSessionResult result;
+  result.phase = phase_;
+  result.start = start_;
+  result.end = now;
+  result.active_workers = workers_;
+  result.bytes_scanned = scanned_;
+  result.cpu_spent = cpu_spent_;
+  phase_ = GcPhase::kIdle;
+  return result;
+}
+
+int hotspot_default_gc_threads(int cpus) {
+  ARV_ASSERT(cpus >= 1);
+  if (cpus <= 8) {
+    return cpus;
+  }
+  return 8 + (cpus - 8) * 5 / 8;
+}
+
+int hotspot_active_workers(int pool_size, int mutator_threads, Bytes heap_committed) {
+  ARV_ASSERT(pool_size >= 1);
+  // Bound by 2x mutators (HotSpot's "active workers by mutator demand") and
+  // by one worker per HeapSizePerGCThread (64 MiB) of committed heap.
+  const std::int64_t by_heap =
+      std::max<std::int64_t>(1, ceil_div(heap_committed, 64 * units::MiB));
+  const std::int64_t by_mutators = std::max(1, 2 * mutator_threads);
+  const std::int64_t active = std::min(by_heap, by_mutators);
+  return static_cast<int>(std::clamp<std::int64_t>(active, 1, pool_size));
+}
+
+}  // namespace arv::jvm

@@ -1,0 +1,122 @@
+// Parallel Scavenge task machinery (paper Figure 4).
+//
+// HotSpot's PS collector pushes typed tasks (OldToYoungRootsTask,
+// ScavengeRootsTask, StealTask, PSRefProcTaskProxy) into a central
+// GCTaskQueue guarded by the GCTaskManager monitor; a variable number of
+// workers is woken per collection and each worker fetches tasks until the
+// queue drains — dynamic work assignment lets faster workers take more.
+//
+// The model keeps that structure: a collection fills the queue from the live
+// bytes to scan, `active_workers` are woken, and advance() drains tasks at a
+// rate set by the granted CPU time and an efficiency curve
+//
+//     eff(n, c) = 1 / (1 + alpha*(n-1)) / (1 + beta*max(0, n - c))
+//
+// where n = active workers and c = CPUs actually granted this tick: alpha
+// models synchronization on the shared queue (sub-linear GC scalability),
+// beta the over-threading penalty when workers outnumber granted CPUs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace arv::jvm {
+
+enum class GcTaskKind {
+  kOldToYoungRoots,
+  kScavengeRoots,
+  kSteal,
+  kRefProc,
+  kFinal,
+};
+
+struct GcTask {
+  GcTaskKind kind;
+  CpuTime work;         ///< CPU time to process this task
+  Bytes bytes_scanned;  ///< heap bytes this task touches
+};
+
+/// The central queue; mutual exclusion is implicit (single-threaded model),
+/// its *cost* is carried by the alpha coefficient above.
+class GcTaskQueue {
+ public:
+  void push(GcTask task);
+  bool empty() const { return tasks_.empty(); }
+  std::size_t size() const { return tasks_.size(); }
+  void clear();
+
+  /// Fetch the next task (FIFO, as GCTaskManager hands tasks out in order).
+  GcTask pop();
+
+ private:
+  std::deque<GcTask> tasks_;
+};
+
+enum class GcPhase { kIdle, kMinor, kMajor };
+
+struct GcSessionResult {
+  GcPhase phase = GcPhase::kIdle;
+  SimTime start = 0;
+  SimTime end = 0;
+  int active_workers = 0;
+  Bytes bytes_scanned = 0;
+  CpuTime cpu_spent = 0;
+};
+
+/// One garbage collection in flight.
+class GcSession {
+ public:
+  /// Fill the queue for a collection over `live_bytes` of data.
+  /// `cost_per_mib`/`fixed_cost` come from the workload model; `workers`
+  /// is the number of GC threads woken for this collection.
+  void begin(GcPhase phase, SimTime now, int workers, Bytes live_bytes,
+             SimDuration cost_per_mib, SimDuration fixed_cost, double alpha,
+             double beta);
+
+  bool active() const { return phase_ != GcPhase::kIdle; }
+  GcPhase phase() const { return phase_; }
+  int active_workers() const { return workers_; }
+  std::size_t tasks_remaining() const { return queue_.size(); }
+
+  /// Consume `grant` CPU time over a tick of length `dt`; returns the heap
+  /// bytes scanned (the caller charges them to the swap model).
+  Bytes advance(CpuTime grant, SimDuration dt);
+
+  bool done() const { return active() && queue_.empty(); }
+
+  /// Close the session and report totals.
+  GcSessionResult finish(SimTime now);
+
+  /// Per-worker task counts for the finished or in-flight session
+  /// (dynamic assignment bookkeeping; round-robin in the fluid model).
+  const std::vector<std::uint64_t>& tasks_per_worker() const {
+    return tasks_per_worker_;
+  }
+
+ private:
+  GcPhase phase_ = GcPhase::kIdle;
+  GcTaskQueue queue_;
+  int workers_ = 0;
+  double alpha_ = 0.0;
+  double beta_ = 0.0;
+  SimTime start_ = 0;
+  Bytes scanned_ = 0;
+  CpuTime cpu_spent_ = 0;
+  std::vector<std::uint64_t> tasks_per_worker_;
+  std::size_t next_worker_ = 0;
+};
+
+/// HotSpot's launch-time default GC thread count for `cpus` processors:
+/// cpus <= 8 ? cpus : 8 + (cpus-8)*5/8. (On the paper's 20-core host: 15.)
+int hotspot_default_gc_threads(int cpus);
+
+/// HotSpot's UseDynamicNumberOfGCThreads heuristic: workers actually woken
+/// are bounded by the mutator count and by a minimum amount of heap per
+/// worker ("it imposes a minimum amount of work for a GC thread", §5.2).
+int hotspot_active_workers(int pool_size, int mutator_threads, Bytes heap_committed);
+
+}  // namespace arv::jvm

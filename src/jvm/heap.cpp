@@ -1,0 +1,146 @@
+#include "src/jvm/heap.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace arv::jvm {
+
+Heap::Heap(mem::MemoryManager& memory, cgroup::CgroupId cgroup, Bytes reserved,
+           Bytes initial_committed)
+    : memory_(memory),
+      cgroup_(cgroup),
+      reserved_(page_align_up(reserved)),
+      virtual_max_(reserved_) {
+  ARV_ASSERT(reserved_ > 0);
+  const Bytes initial = std::clamp<Bytes>(page_align_up(initial_committed),
+                                          4 * units::MiB, reserved_);
+  // Committed space keeps the 1:2 ratio from the start.
+  young_committed_ = page_align_up(initial / (1 + kYoungToOldRatio));
+  old_committed_ = page_align_up(initial - young_committed_);
+  recharge(young_committed_ + old_committed_);
+}
+
+Heap::~Heap() {
+  if (charged_ > 0) {
+    memory_.uncharge(cgroup_, charged_);
+  }
+}
+
+bool Heap::recharge(Bytes new_committed_total) {
+  if (new_committed_total == charged_) {
+    return true;
+  }
+  if (new_committed_total > charged_) {
+    const auto result = memory_.charge(cgroup_, new_committed_total - charged_);
+    if (result == mem::ChargeResult::kOomKilled) {
+      oom_killed_ = true;
+      return false;
+    }
+  } else {
+    memory_.uncharge(cgroup_, charged_ - new_committed_total);
+  }
+  charged_ = new_committed_total;
+  return true;
+}
+
+bool Heap::allocate(Bytes bytes) {
+  ARV_ASSERT(bytes >= 0);
+  if (eden_used_ + bytes > eden_limit()) {
+    return false;
+  }
+  eden_used_ += bytes;
+  return true;
+}
+
+void Heap::finish_minor(Bytes survivors, Bytes promoted) {
+  ARV_ASSERT(survivors >= 0 && promoted >= 0);
+  eden_used_ = 0;
+  // Survivor overflow: what does not fit the survivor space promotes.
+  const Bytes kept = std::min(survivors, survivor_capacity());
+  survivor_used_ = kept;
+  old_used_ += promoted + (survivors - kept);
+  // The old generation may transiently exceed committed space during a
+  // failed promotion; the collector responds with a major GC.
+}
+
+void Heap::finish_major(Bytes old_live, Bytes survivor_live) {
+  ARV_ASSERT(old_live >= 0 && survivor_live >= 0);
+  old_used_ = old_live;
+  survivor_used_ = survivor_live;
+  eden_used_ = 0;
+}
+
+bool Heap::resize_young(Bytes target_committed) {
+  Bytes target = page_align_up(target_committed);
+  target = std::min(target, young_max());
+  // Growing young must not strand the old generation past its limit.
+  target = std::min(target, std::max<Bytes>(0, virtual_max_ - old_committed_));
+  // Committed space stays page-granular (the caps above need not be).
+  target = target / units::page * units::page;
+  // Shrinking must keep eden's capacity above its usage and the whole
+  // generation above everything it holds. Survivor bytes may transiently
+  // exceed their target fraction of a shrunken young gen — the next minor
+  // collection overflow-promotes them (finish_minor), exactly as HotSpot
+  // resolves a shrink below the survivor high-water mark.
+  const Bytes min_for_eden =
+      static_cast<Bytes>(static_cast<double>(eden_used_) / kEdenFraction);
+  target = std::max(
+      target, page_align_up(std::max(min_for_eden, eden_used_ + survivor_used_)));
+  target = std::max<Bytes>(target, units::MiB);
+  if (target == young_committed_) {
+    return true;
+  }
+  const Bytes old_value = young_committed_;
+  young_committed_ = target;
+  if (!recharge(young_committed_ + old_committed_)) {
+    young_committed_ = old_value;
+    return false;
+  }
+  return true;
+}
+
+bool Heap::resize_old(Bytes target_committed) {
+  Bytes target = page_align_up(target_committed);
+  target = std::min(target, old_max());
+  target = target / units::page * units::page;
+  target = std::max(target, page_align_up(old_used_));
+  target = std::max<Bytes>(target, units::MiB);
+  if (target == old_committed_) {
+    return true;
+  }
+  const Bytes old_value = old_committed_;
+  old_committed_ = target;
+  if (!recharge(young_committed_ + old_committed_)) {
+    old_committed_ = old_value;
+    return false;
+  }
+  return true;
+}
+
+ResizeOutcome Heap::set_virtual_max(Bytes new_max) {
+  ARV_ASSERT(new_max > 0);
+  virtual_max_ = std::min(page_align_up(new_max), reserved_);
+
+  // Growing (or no-op): the sizing algorithm will expand lazily.
+  if (young_committed_ <= young_max() && old_committed_ <= old_max()) {
+    return ResizeOutcome::kLimitsAdjusted;
+  }
+
+  // Case 3 first: the live data itself no longer fits below the new limits.
+  // Release the free committed space right away (down to the used floors) —
+  // otherwise a fleet of pressured JVMs would pin physical memory with
+  // committed-but-unused pages — and tell the caller to collect.
+  if (eden_used_ + survivor_used_ > young_max() || old_used_ > old_max()) {
+    resize_young(page_align_up(eden_used_ + survivor_used_));
+    resize_old(page_align_up(old_used_));
+    return ResizeOutcome::kGcRequired;
+  }
+
+  // Case 2: shrink committed space down to the new limits (free space only).
+  resize_young(std::min(young_committed_, young_max()));
+  resize_old(std::min(old_committed_, old_max()));
+  return ResizeOutcome::kCommittedShrunk;
+}
+
+}  // namespace arv::jvm

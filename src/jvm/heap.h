@@ -1,0 +1,129 @@
+// Generational heap geometry and accounting (§4.2, Figure 5).
+//
+// Two collected generations (young = eden + survivors, old) with HotSpot's
+// fixed 1:2 young:old ratio. Three sizes per §4.2: used <= committed <=
+// reserved. Committed memory is charged to the container's cgroup through
+// the MemoryManager, so heap growth is what pushes the host toward its
+// watermarks.
+//
+// Elastic heap: a dynamic VirtualMax (plus derived YoungMax / OldMax)
+// decouples the sizing algorithm from the launch-time reserved size
+// (MaxHeapSize). Shrinking VirtualMax distinguishes the three §4.2 cases:
+// limits-only move, committed shrink, and "GC required" when even the used
+// space no longer fits.
+#pragma once
+
+#include "src/mem/memory_manager.h"
+#include "src/util/types.h"
+
+namespace arv::jvm {
+
+/// Outcome of moving VirtualMax down/up.
+enum class ResizeOutcome {
+  kLimitsAdjusted,   ///< case 1: only YoungMax/OldMax moved
+  kCommittedShrunk,  ///< case 2: free committed space was released
+  kGcRequired,       ///< case 3: used space exceeds the new limit
+};
+
+class Heap {
+ public:
+  /// `reserved` is MaxHeapSize (static, from -Xmx or ergonomics);
+  /// `initial_committed` is -Xms. VirtualMax starts at `reserved`.
+  Heap(mem::MemoryManager& memory, cgroup::CgroupId cgroup, Bytes reserved,
+       Bytes initial_committed);
+  ~Heap();
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // --- geometry -------------------------------------------------------------
+  static constexpr int kYoungToOldRatio = 2;  ///< old = 2 * young
+  static constexpr double kEdenFraction = 0.8;
+
+  Bytes reserved() const { return reserved_; }
+  Bytes virtual_max() const { return virtual_max_; }
+  /// Upper bound on the young generation: its share of the 1:2 ratio.
+  Bytes young_max() const { return virtual_max_ / (1 + kYoungToOldRatio); }
+  /// Upper bound on the old generation. The ratio is a *target*, not a hard
+  /// split: as in HotSpot, the old generation may grow into whatever part of
+  /// the budget the young generation has not committed.
+  Bytes old_max() const {
+    return std::max<Bytes>(0, virtual_max_ - young_committed_);
+  }
+
+  Bytes young_committed() const { return young_committed_; }
+  Bytes old_committed() const { return old_committed_; }
+  Bytes committed() const { return young_committed_ + old_committed_; }
+
+  Bytes eden_capacity() const {
+    return static_cast<Bytes>(static_cast<double>(young_committed_) * kEdenFraction);
+  }
+  /// Space available to survivors (the non-eden part of young).
+  Bytes survivor_capacity() const { return young_committed_ - eden_capacity(); }
+  Bytes eden_used() const { return eden_used_; }
+  Bytes survivor_used() const { return survivor_used_; }
+  Bytes old_used() const { return old_used_; }
+  Bytes used() const { return eden_used_ + survivor_used_ + old_used_; }
+
+  // --- mutator interface ----------------------------------------------------
+  /// Bump-allocate into eden. Returns false when eden is full (allocation
+  /// failure => the caller triggers a minor collection).
+  bool allocate(Bytes bytes);
+
+  /// Space eden can actually grow into: its capacity fraction, minus any
+  /// overhang from survivors that exceed their target fraction (possible
+  /// right after a shrink, until the next minor collection resolves it).
+  Bytes eden_limit() const {
+    return std::min(eden_capacity(), young_committed_ - survivor_used_);
+  }
+
+  /// Space left in eden before the next allocation failure.
+  Bytes eden_room() const { return std::max<Bytes>(0, eden_limit() - eden_used_); }
+
+  // --- collector interface --------------------------------------------------
+  /// Apply the result of a minor collection: eden cleared, `survivors`
+  /// bytes stay in the survivor space, `promoted` bytes move to old.
+  /// Survivors beyond the survivor-space capacity overflow-promote to the
+  /// old generation, as in HotSpot.
+  void finish_minor(Bytes survivors, Bytes promoted);
+
+  /// Apply the result of a major collection: old compacts to `old_live`,
+  /// survivor space compacts to `survivor_live`.
+  void finish_major(Bytes old_live, Bytes survivor_live);
+
+  /// True when a promotion of `bytes` would overflow the old generation.
+  bool promotion_would_fail(Bytes bytes) const {
+    return old_used_ + bytes > old_committed_;
+  }
+
+  // --- sizing ----------------------------------------------------------------
+  /// Grow/shrink committed space (young and old keep the 1:2 ratio as in
+  /// HotSpot's PSYoungGen/PSOldGen resizing). Growth is clamped to
+  /// YoungMax/OldMax and charged to the cgroup; returns false if the charge
+  /// OOM-killed the container. Shrinking never drops below used space.
+  bool resize_young(Bytes target_committed);
+  bool resize_old(Bytes target_committed);
+
+  /// §4.2: move VirtualMax (the dynamic reserved size). Upward moves just
+  /// raise the limits; downward moves classify into the three cases.
+  ResizeOutcome set_virtual_max(Bytes new_max);
+
+  /// True after a charge was refused because the cgroup was OOM-killed.
+  bool oom_killed() const { return oom_killed_; }
+
+ private:
+  bool recharge(Bytes new_committed_total);
+
+  mem::MemoryManager& memory_;
+  cgroup::CgroupId cgroup_;
+  Bytes reserved_;
+  Bytes virtual_max_;
+  Bytes young_committed_ = 0;
+  Bytes old_committed_ = 0;
+  Bytes eden_used_ = 0;
+  Bytes survivor_used_ = 0;
+  Bytes old_used_ = 0;
+  Bytes charged_ = 0;
+  bool oom_killed_ = false;
+};
+
+}  // namespace arv::jvm

@@ -1,0 +1,136 @@
+// Jvm — a mini-HotSpot running a synthetic Java workload inside a container.
+//
+// The JVM is a Schedulable: each tick the fair scheduler grants it CPU time,
+// which it spends either mutating (performing application work, allocating
+// into eden at the workload's allocation rate, touching its live set) or in
+// a stop-the-world parallel collection (draining the GCTaskQueue with the
+// worker count chosen by its container-awareness policy). Memory committed
+// by the heap is charged to the container's cgroup, so an oversized heap
+// pushes the host into swapping exactly as in §5.3.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/container/container.h"
+#include "src/jvm/adaptive_sizing.h"
+#include "src/jvm/config.h"
+#include "src/jvm/gc_tasks.h"
+#include "src/jvm/heap.h"
+#include "src/jvm/policy.h"
+#include "src/sched/fair_scheduler.h"
+
+namespace arv::jvm {
+
+enum class JvmState {
+  kMutating,
+  kInGc,
+  kCompleted,  ///< workload finished
+  kOomError,   ///< java.lang.OutOfMemoryError: live data exceeds the heap limit
+  kKilled,     ///< cgroup OOM-killed by the kernel
+};
+
+struct JvmStats {
+  SimTime start_time = 0;
+  SimTime end_time = -1;
+  bool completed = false;
+  bool oom_error = false;
+  bool killed = false;
+  int minor_gcs = 0;
+  int major_gcs = 0;
+  SimDuration minor_gc_time = 0;  ///< STW wall time
+  SimDuration major_gc_time = 0;
+  SimDuration stall_time = 0;     ///< wall time blocked on swap I/O
+  Bytes allocated_total = 0;
+
+  SimDuration gc_time() const { return minor_gc_time + major_gc_time; }
+  SimDuration exec_time() const { return end_time >= 0 ? end_time - start_time : -1; }
+};
+
+/// One (time, workers, phase) record per collection — Figure 8(b)'s series.
+struct GcThreadSample {
+  SimTime when;
+  int workers;
+  GcPhase phase;
+};
+
+/// Point-in-time heap geometry — Figure 12's series.
+struct HeapSample {
+  SimTime when;
+  Bytes used;
+  Bytes committed;
+  Bytes virtual_max;
+};
+
+class Jvm : public sched::Schedulable {
+ public:
+  /// Launches `java` inside `target`: spawns the process, runs the launch
+  /// policy, reserves the heap, and attaches to the scheduler.
+  Jvm(container::Host& host, container::Container& target, JvmFlags flags,
+      JavaWorkload workload);
+  ~Jvm() override;
+  Jvm(const Jvm&) = delete;
+  Jvm& operator=(const Jvm&) = delete;
+
+  // --- sched::Schedulable ----------------------------------------------------
+  int runnable_threads() const override;
+  void consume(SimTime now, SimDuration dt, CpuTime grant) override;
+
+  // --- observers --------------------------------------------------------------
+  JvmState state() const { return state_; }
+  bool finished() const { return state_ != JvmState::kMutating && state_ != JvmState::kInGc; }
+  const JvmStats& stats() const { return stats_; }
+  const Heap& heap() const { return *heap_; }
+  const LaunchDecision& launch() const { return launch_; }
+  const JavaWorkload& workload() const { return workload_; }
+  proc::Pid pid() const { return pid_; }
+  const std::vector<GcThreadSample>& gc_thread_trace() const { return gc_trace_; }
+
+  HeapSample sample_heap() const;
+
+  /// The workload's current live data (grows for leak-style workloads).
+  Bytes live_target() const;
+
+  /// Fraction of mutator work completed, in [0, 1].
+  double progress() const;
+
+ private:
+  void mutate(SimTime now, SimDuration dt, CpuTime grant);
+  void advance_gc(SimTime now, SimDuration dt, CpuTime grant);
+  void start_minor(SimTime now);
+  void start_major(SimTime now);
+  void finish_gc(SimTime now);
+  void after_minor(SimTime now, const GcSessionResult& result);
+  void after_major(SimTime now, const GcSessionResult& result);
+  void drain_pending_allocation(SimTime now);
+  void poll_elastic_heap(SimTime now);
+  void fail_oom(SimTime now);
+  void terminate(SimTime now, JvmState state);
+  void apply_touch_stall(SimTime now, Bytes touched);
+
+  container::Host& host_;
+  container::Container& container_;
+  proc::Pid pid_;
+  JvmFlags flags_;
+  JavaWorkload workload_;
+  LaunchDecision launch_;
+  std::unique_ptr<Heap> heap_;
+  GcSession gc_;
+  AdaptiveSizePolicy sizing_;
+
+  JvmState state_ = JvmState::kMutating;
+  CpuTime work_done_ = 0;
+  Bytes pending_alloc_ = 0;
+  SimTime stalled_until_ = 0;
+  SimTime last_minor_end_ = 0;
+  Bytes pre_gc_eden_ = 0;
+  Bytes pre_gc_survivor_ = 0;
+  SimTime next_heap_poll_ = 0;
+  int back_to_back_gcs_ = 0;
+
+  JvmStats stats_;
+  std::vector<GcThreadSample> gc_trace_;
+  bool attached_ = false;
+};
+
+}  // namespace arv::jvm

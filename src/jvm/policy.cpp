@@ -1,0 +1,144 @@
+#include "src/jvm/policy.h"
+
+#include <algorithm>
+
+#include "src/jvm/gc_tasks.h"
+#include "src/util/assert.h"
+
+namespace arv::jvm {
+
+int jdk9_cpu_count(const container::Host& host, cgroup::CgroupId id) {
+  // "it detects if there is a CPU mask associated with the Java process ...
+  // If CPU affinity is found, the JDK calculates the number of CPUs the JVM
+  // is permitted to access" (§5.2); quota is the fallback detection path.
+  const auto& tree = const_cast<container::Host&>(host).cgroups();
+  const auto& cfg = tree.get(id).cpu();
+  if (!cfg.cpuset.empty()) {
+    return tree.effective_cpuset(id).count();
+  }
+  if (cfg.cfs_quota_us != kUnlimited) {
+    return tree.effective_quota_cpus(id);
+  }
+  return tree.online_cpus();
+}
+
+int jdk10_cpu_count(const container::Host& host, cgroup::CgroupId id) {
+  auto& tree = const_cast<container::Host&>(host).cgroups();
+  const int base = jdk9_cpu_count(host, id);
+  // JVM 10 "uses an algorithm similar to that in Algorithm 1 (line 4) to
+  // derive a core count based on CPU share" — static at launch.
+  const std::int64_t shares = tree.get(id).cpu().shares;
+  const std::int64_t total = std::max<std::int64_t>(1, tree.total_shares());
+  const int by_share =
+      static_cast<int>(ceil_div(shares * tree.online_cpus(), total));
+  return std::max(1, std::min(base, by_share));
+}
+
+namespace {
+
+Bytes detected_phys_memory(container::Host& host, proc::Pid pid) {
+  const long pages = host.sysfs().sysconf(pid, vfs::Sysconf::kPhysPages);
+  const long page_size = host.sysfs().sysconf(pid, vfs::Sysconf::kPageSize);
+  return static_cast<Bytes>(pages) * static_cast<Bytes>(page_size);
+}
+
+}  // namespace
+
+LaunchDecision decide_launch(container::Host& host, container::Container& target,
+                             proc::Pid pid, const JvmFlags& flags,
+                             const JavaWorkload& workload) {
+  LaunchDecision decision;
+  const cgroup::CgroupId cg = target.cgroup();
+  const Bytes hard_limit = host.cgroups().get(cg).mem().limit_in_bytes;
+
+  // --- GC worker pool (N) ---------------------------------------------------
+  switch (flags.kind) {
+    case JvmKind::kVanilla8:
+      // sysconf through the (possibly virtual) sysfs; a stock container
+      // answers with the host CPU count.
+      decision.gc_worker_pool = hotspot_default_gc_threads(static_cast<int>(
+          host.sysfs().sysconf(pid, vfs::Sysconf::kNProcessorsOnln)));
+      break;
+    case JvmKind::kJdk9:
+      decision.gc_worker_pool =
+          hotspot_default_gc_threads(jdk9_cpu_count(host, cg));
+      break;
+    case JvmKind::kJdk10:
+      decision.gc_worker_pool =
+          hotspot_default_gc_threads(jdk10_cpu_count(host, cg));
+      break;
+    case JvmKind::kOptTuned:
+      ARV_ASSERT_MSG(flags.fixed_gc_threads >= 1,
+                     "opt-tuned JVM requires fixed_gc_threads");
+      decision.gc_worker_pool = flags.fixed_gc_threads;
+      break;
+    case JvmKind::kAdaptive:
+      // §4.1: "we launch as many GC threads as possible according to the
+      // number of online CPUs, retaining the potential to expand".
+      decision.gc_worker_pool =
+          hotspot_default_gc_threads(host.scheduler().online_cpus());
+      break;
+  }
+
+  // --- heap sizes -------------------------------------------------------------
+  const Bytes min_heap = min_heap_of(workload);
+  if (flags.xmx > 0) {
+    decision.max_heap = flags.xmx;
+  } else {
+    switch (flags.kind) {
+      case JvmKind::kVanilla8:
+        // MaxHeapSize = phys/4; through the virtual sysfs this is E_MEM/4.
+        decision.max_heap = detected_phys_memory(host, pid) / 4;
+        break;
+      case JvmKind::kJdk9:
+      case JvmKind::kJdk10:
+        // "JDK 9 ... limits the JVM heap size to the hard memory limit":
+        // MaxRAM clamps to the hard limit, then MaxRAMFraction=4 applies.
+        decision.max_heap = (hard_limit != kUnlimited
+                                 ? hard_limit
+                                 : host.memory().total_ram()) / 4;
+        break;
+      case JvmKind::kOptTuned:
+        decision.max_heap = min_heap * 3;
+        break;
+      case JvmKind::kAdaptive:
+        // §4.2: "setting the original reserved size MaxHeapSize to a
+        // sufficiently large value, close to the size of physical memory".
+        decision.max_heap = host.memory().total_ram() * 9 / 10;
+        break;
+    }
+  }
+
+  if (flags.kind == JvmKind::kAdaptive && flags.elastic_heap) {
+    const Bytes e_mem = detected_phys_memory(host, pid);  // effective memory
+    decision.initial_virtual_max = std::max(min_heap, e_mem);
+  } else {
+    decision.initial_virtual_max = decision.max_heap;
+  }
+
+  decision.initial_heap =
+      flags.xms > 0 ? flags.xms
+                    : std::max<Bytes>(8 * units::MiB,
+                                      decision.initial_virtual_max / 4);
+  decision.initial_heap = std::min(decision.initial_heap, decision.max_heap);
+  return decision;
+}
+
+int decide_gc_threads(container::Host& host, proc::Pid pid, const JvmFlags& flags,
+                      int worker_pool, int mutator_threads, Bytes heap_committed) {
+  int threads = worker_pool;
+  if (flags.dynamic_gc_threads) {
+    threads = std::min(
+        threads, hotspot_active_workers(worker_pool, mutator_threads, heap_committed));
+  }
+  if (flags.kind == JvmKind::kAdaptive) {
+    // §4.1: N_gc = min(N, N_active, E_CPU) — E_CPU read through sysconf,
+    // answered by the container's sys_namespace.
+    const int e_cpu = static_cast<int>(
+        host.sysfs().sysconf(pid, vfs::Sysconf::kNProcessorsOnln));
+    threads = std::min(threads, std::max(1, e_cpu));
+  }
+  return std::max(1, threads);
+}
+
+}  // namespace arv::jvm

@@ -1,0 +1,49 @@
+// Launch-time and per-collection configuration policies — the five JVM
+// generations the paper's evaluation compares (§2.2, §5):
+//
+//   vanilla (JDK <= 8)  probes host CPUs/memory via sysconf; oblivious.
+//   JDK 9               static container CPU limit (cpuset, else quota) and
+//                       hard memory limit, read once at launch.
+//   JDK 10              additionally derives a static CPU count from
+//                       cpu.shares (Algorithm 1 line 4's share term).
+//   opt-tuned           experimenter-pinned thread count / heap.
+//   adaptive            the paper's system: maximum worker pool at launch,
+//                       per-GC thread count and heap limit from the
+//                       continuously updated resource view.
+#pragma once
+
+#include "src/container/container.h"
+#include "src/jvm/config.h"
+
+namespace arv::jvm {
+
+/// Everything decided when `java` starts.
+struct LaunchDecision {
+  int gc_worker_pool = 1;    ///< N: GC threads created at launch
+  Bytes max_heap = 0;        ///< MaxHeapSize (reserved)
+  Bytes initial_heap = 0;    ///< -Xms equivalent
+  Bytes initial_virtual_max = 0;  ///< elastic heap: starting VirtualMax
+};
+
+/// The static CPU count a JDK-9-style runtime detects for a container:
+/// |cpuset| if set, else quota/period, else host online CPUs.
+int jdk9_cpu_count(const container::Host& host, cgroup::CgroupId id);
+
+/// JDK 10 refinement: also bound by ceil(share_fraction * online).
+int jdk10_cpu_count(const container::Host& host, cgroup::CgroupId id);
+
+/// Compute the launch decision for a JVM running as process `pid` inside
+/// `target` (CPU probing goes through the virtual sysfs, so an adaptive
+/// container answers with effective values).
+LaunchDecision decide_launch(container::Host& host, container::Container& target,
+                             proc::Pid pid, const JvmFlags& flags,
+                             const JavaWorkload& workload);
+
+/// GC threads to wake for one collection (§4.1):
+///   N_gc = min(N, N_active, E_CPU)
+/// where N_active applies only with dynamic_gc_threads and E_CPU only for
+/// the adaptive kind (read live from the resource view via sysconf).
+int decide_gc_threads(container::Host& host, proc::Pid pid, const JvmFlags& flags,
+                      int worker_pool, int mutator_threads, Bytes heap_committed);
+
+}  // namespace arv::jvm

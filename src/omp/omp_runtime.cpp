@@ -1,0 +1,119 @@
+#include "src/omp/omp_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace arv::omp {
+
+OmpProcess::OmpProcess(container::Host& host, container::Container& target,
+                       TeamStrategy strategy, OmpWorkload workload,
+                       int fixed_threads)
+    : host_(host),
+      container_(target),
+      pid_(target.spawn_process("omp:" + workload.name)),
+      strategy_(strategy),
+      workload_(std::move(workload)),
+      fixed_threads_(fixed_threads) {
+  ARV_ASSERT(workload_.regions >= 1);
+  if (strategy_ == TeamStrategy::kFixed) {
+    ARV_ASSERT_MSG(fixed_threads_ >= 1, "kFixed requires OMP_NUM_THREADS");
+  }
+  stats_.start_time = host_.now();
+  phase_ = Phase::kSerial;
+  phase_remaining_ = static_cast<CpuTime>(
+      static_cast<double>(workload_.region_work) * workload_.serial_frac);
+  if (phase_remaining_ <= 0) {
+    phase_remaining_ = 1;
+  }
+  host_.scheduler().attach(container_.cgroup(), this);
+  attached_ = true;
+}
+
+OmpProcess::~OmpProcess() {
+  if (attached_) {
+    host_.scheduler().detach(container_.cgroup(), this);
+  }
+}
+
+int OmpProcess::runnable_threads() const {
+  switch (phase_) {
+    case Phase::kSerial:
+      return 1;
+    case Phase::kParallel:
+      return team_size_;
+    case Phase::kDone:
+      return 0;
+  }
+  return 0;
+}
+
+int OmpProcess::choose_team_size() const {
+  const int n_onln = static_cast<int>(
+      host_.sysfs().sysconf(pid_, vfs::Sysconf::kNProcessorsOnln));
+  switch (strategy_) {
+    case TeamStrategy::kStatic:
+      return std::max(1, n_onln);
+    case TeamStrategy::kDynamic: {
+      // libgomp: n_onln - loadavg, floored at 1. The load average includes
+      // every runnable task on the host, which is exactly why the paper
+      // finds this heuristic misfires in multi-tenant hosts (§5.2).
+      const int load = static_cast<int>(std::lround(host_.scheduler().loadavg()));
+      return std::max(1, n_onln - load);
+    }
+    case TeamStrategy::kAdaptive:
+      // n_onln through the container's virtual sysfs *is* E_CPU.
+      return std::max(1, n_onln);
+    case TeamStrategy::kFixed:
+      return fixed_threads_;
+  }
+  return 1;
+}
+
+void OmpProcess::enter_region(SimTime /*now*/) {
+  team_size_ = choose_team_size();
+  team_sizes_.push_back(team_size_);
+  phase_ = Phase::kParallel;
+  phase_remaining_ = workload_.region_work;
+}
+
+void OmpProcess::consume(SimTime now, SimDuration dt, CpuTime grant) {
+  if (phase_ == Phase::kDone || grant <= 0) {
+    return;
+  }
+  CpuTime useful = grant;
+  if (phase_ == Phase::kParallel) {
+    const double granted_cpus = static_cast<double>(grant) / static_cast<double>(dt);
+    const double oversub =
+        std::max(0.0, static_cast<double>(team_size_) - granted_cpus);
+    const double efficiency =
+        1.0 / (1.0 + workload_.alpha * static_cast<double>(team_size_ - 1)) /
+        (1.0 + workload_.beta * oversub);
+    useful = static_cast<CpuTime>(static_cast<double>(grant) * efficiency);
+  }
+  phase_remaining_ -= useful;
+  if (phase_remaining_ > 0) {
+    return;
+  }
+
+  // Phase complete; residual work beyond the boundary is discarded (at most
+  // one tick's worth — noise at the model's granularity).
+  if (phase_ == Phase::kSerial) {
+    enter_region(now);
+    return;
+  }
+  stats_.regions_done += 1;
+  region_index_ += 1;
+  if (region_index_ >= workload_.regions) {
+    phase_ = Phase::kDone;
+    stats_.end_time = now;
+    return;
+  }
+  phase_ = Phase::kSerial;
+  phase_remaining_ = std::max<CpuTime>(
+      1, static_cast<CpuTime>(static_cast<double>(workload_.region_work) *
+                              workload_.serial_frac));
+}
+
+}  // namespace arv::omp

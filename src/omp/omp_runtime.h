@@ -1,0 +1,92 @@
+// Mini-OpenMP runtime (§4.1, OpenMP case study).
+//
+// A program is a sequence of parallel regions separated by serial sections.
+// At each region entry the runtime picks a team size:
+//
+//   static    OMP_DYNAMIC=false: one thread per online CPU (via sysconf,
+//             so a stock container sees the *host* CPU count);
+//   dynamic   libgomp's gomp_dynamic_max_threads: n_onln - loadavg;
+//   adaptive  the paper's change: team = E_CPU ("we substitute n_onln with
+//             E_CPU and remove the second term of the formula");
+//   fixed     OMP_NUM_THREADS pinned by the user.
+//
+// Region progress uses the same efficiency curve as the GC model: sub-linear
+// scaling in team size plus an oversubscription penalty when the team
+// exceeds the CPUs actually granted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/container/container.h"
+#include "src/sched/fair_scheduler.h"
+#include "src/util/types.h"
+
+namespace arv::omp {
+
+enum class TeamStrategy { kStatic, kDynamic, kAdaptive, kFixed };
+
+struct OmpWorkload {
+  std::string name = "synthetic";
+  int regions = 40;
+  /// Parallel CPU work per region (total across the team).
+  SimDuration region_work = 250 * units::msec;
+  /// Serial CPU work between regions, as a fraction of region_work.
+  double serial_frac = 0.05;
+  /// Parallel-efficiency loss per extra team member.
+  double alpha = 0.02;
+  /// Oversubscription penalty per thread beyond granted CPUs. OpenMP teams
+  /// degrade more gently than GC workers (no shared task queue), so this is
+  /// an order of magnitude below the JVM's gc_beta.
+  double beta = 0.03;
+};
+
+struct OmpStats {
+  SimTime start_time = 0;
+  SimTime end_time = -1;
+  int regions_done = 0;
+  SimDuration exec_time() const { return end_time >= 0 ? end_time - start_time : -1; }
+};
+
+class OmpProcess : public sched::Schedulable {
+ public:
+  OmpProcess(container::Host& host, container::Container& target,
+             TeamStrategy strategy, OmpWorkload workload, int fixed_threads = 0);
+  ~OmpProcess() override;
+  OmpProcess(const OmpProcess&) = delete;
+  OmpProcess& operator=(const OmpProcess&) = delete;
+
+  // --- sched::Schedulable ----------------------------------------------------
+  int runnable_threads() const override;
+  void consume(SimTime now, SimDuration dt, CpuTime grant) override;
+
+  bool finished() const { return phase_ == Phase::kDone; }
+  const OmpStats& stats() const { return stats_; }
+  const OmpWorkload& workload() const { return workload_; }
+  const std::vector<int>& team_size_trace() const { return team_sizes_; }
+  TeamStrategy strategy() const { return strategy_; }
+
+ private:
+  enum class Phase { kSerial, kParallel, kDone };
+
+  /// gomp_dynamic_max_threads / the paper's substitution.
+  int choose_team_size() const;
+  void enter_region(SimTime now);
+
+  container::Host& host_;
+  container::Container& container_;
+  proc::Pid pid_;
+  TeamStrategy strategy_;
+  OmpWorkload workload_;
+  int fixed_threads_;
+
+  Phase phase_ = Phase::kSerial;
+  int region_index_ = 0;
+  int team_size_ = 1;
+  CpuTime phase_remaining_ = 0;
+  OmpStats stats_;
+  std::vector<int> team_sizes_;
+  bool attached_ = false;
+};
+
+}  // namespace arv::omp

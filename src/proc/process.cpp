@@ -1,0 +1,166 @@
+#include "src/proc/process.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace arv::proc {
+
+Pid PidNamespace::assign_vpid(Pid host_pid) {
+  ARV_ASSERT_MSG(host_to_vpid_.find(host_pid) == host_to_vpid_.end(),
+                 "host pid already in this namespace");
+  const Pid vpid = next_vpid_++;
+  host_to_vpid_[host_pid] = vpid;
+  vpid_to_host_[vpid] = host_pid;
+  return vpid;
+}
+
+void PidNamespace::remove(Pid host_pid) {
+  const auto it = host_to_vpid_.find(host_pid);
+  if (it == host_to_vpid_.end()) {
+    return;
+  }
+  vpid_to_host_.erase(it->second);
+  host_to_vpid_.erase(it);
+}
+
+Pid PidNamespace::vpid_of(Pid host_pid) const {
+  const auto it = host_to_vpid_.find(host_pid);
+  return it == host_to_vpid_.end() ? -1 : it->second;
+}
+
+Pid PidNamespace::host_of(Pid vpid) const {
+  const auto it = vpid_to_host_.find(vpid);
+  return it == vpid_to_host_.end() ? -1 : it->second;
+}
+
+ProcessTable::ProcessTable() {
+  Task init;
+  init.pid = next_pid_++;
+  init.parent = init.pid;
+  init.comm = "init";
+  tasks_[init.pid] = std::move(init);
+}
+
+Pid ProcessTable::fork(Pid parent) {
+  ARV_ASSERT_MSG(alive(parent), "cannot fork a dead or unknown task");
+  const Task& parent_task = get(parent);
+  Task child;
+  child.pid = next_pid_++;
+  child.parent = parent;
+  child.comm = parent_task.comm;
+  child.cgroup = parent_task.cgroup;
+  child.namespaces = parent_task.namespaces;
+  if (auto pid_ns = std::dynamic_pointer_cast<PidNamespace>(
+          namespace_of(parent, Namespace::Kind::kPid))) {
+    pid_ns->assign_vpid(child.pid);
+  }
+  const Pid pid = child.pid;
+  tasks_[pid] = std::move(child);
+  return pid;
+}
+
+void ProcessTable::execve(Pid pid, const std::string& comm) {
+  ARV_ASSERT_MSG(alive(pid), "cannot exec in a dead task");
+  Task& task = get_mutable(pid);
+  task.comm = comm;
+  // The paper's §3.2 fix: "change the ownership of sys_namespace to the
+  // current task when the state of the original init process changes to
+  // TASK_DEAD". Applied uniformly to every namespace the task carries.
+  for (auto& [kind, ns] : task.namespaces) {
+    const Pid owner = ns->owner();
+    if (owner == pid || !alive(owner)) {
+      ns->set_owner(pid);
+    }
+  }
+}
+
+void ProcessTable::exit(Pid pid) {
+  ARV_ASSERT_MSG(pid != kHostInit, "host init does not exit");
+  ARV_ASSERT_MSG(alive(pid), "double exit");
+  Task& task = get_mutable(pid);
+  task.state = TaskState::kDead;
+  if (auto pid_ns = std::dynamic_pointer_cast<PidNamespace>(
+          namespace_of(pid, Namespace::Kind::kPid))) {
+    pid_ns->remove(pid);
+  }
+  for (auto& [other_pid, other] : tasks_) {
+    if (other.parent == pid && other.state == TaskState::kRunning) {
+      other.parent = kHostInit;
+    }
+  }
+}
+
+bool ProcessTable::alive(Pid pid) const {
+  const auto it = tasks_.find(pid);
+  return it != tasks_.end() && it->second.state == TaskState::kRunning;
+}
+
+bool ProcessTable::exists(Pid pid) const { return tasks_.find(pid) != tasks_.end(); }
+
+const Task& ProcessTable::get(Pid pid) const {
+  const auto it = tasks_.find(pid);
+  ARV_ASSERT_MSG(it != tasks_.end(), "unknown pid");
+  return it->second;
+}
+
+Task& ProcessTable::get_mutable(Pid pid) {
+  const auto it = tasks_.find(pid);
+  ARV_ASSERT_MSG(it != tasks_.end(), "unknown pid");
+  return it->second;
+}
+
+void ProcessTable::set_cgroup(Pid pid, cgroup::CgroupId id) {
+  get_mutable(pid).cgroup = id;
+}
+
+void ProcessTable::set_namespace(Pid pid, std::shared_ptr<Namespace> ns) {
+  ARV_ASSERT(ns != nullptr);
+  Task& task = get_mutable(pid);
+  ns->set_owner(pid);
+  if (auto pid_ns = std::dynamic_pointer_cast<PidNamespace>(ns)) {
+    pid_ns->assign_vpid(pid);  // the creator becomes vpid 1
+  }
+  task.namespaces[ns->kind()] = std::move(ns);
+}
+
+std::shared_ptr<Namespace> ProcessTable::namespace_of(Pid pid,
+                                                      Namespace::Kind kind) const {
+  const Task& task = get(pid);
+  const auto it = task.namespaces.find(kind);
+  return it == task.namespaces.end() ? nullptr : it->second;
+}
+
+bool ProcessTable::in_container(Pid pid) const {
+  return exists(pid) && namespace_of(pid, Namespace::Kind::kSys) != nullptr;
+}
+
+std::vector<Pid> ProcessTable::tasks_in_cgroup(cgroup::CgroupId id) const {
+  std::vector<Pid> out;
+  for (const auto& [pid, task] : tasks_) {
+    if (task.cgroup == id && task.state == TaskState::kRunning) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+std::vector<Pid> ProcessTable::children_of(Pid pid) const {
+  std::vector<Pid> out;
+  for (const auto& [child_pid, task] : tasks_) {
+    if (task.parent == pid && child_pid != pid &&
+        task.state == TaskState::kRunning) {
+      out.push_back(child_pid);
+    }
+  }
+  return out;
+}
+
+std::size_t ProcessTable::live_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(tasks_.begin(), tasks_.end(), [](const auto& entry) {
+        return entry.second.state == TaskState::kRunning;
+      }));
+}
+
+}  // namespace arv::proc

@@ -1,0 +1,147 @@
+// Server-runtime case studies beyond the paper's two (§4): the
+// auto-configuration patterns that make 62 of the DockerHub top-100 images
+// "affected" (Figure 1) are mostly these two:
+//
+//   * WorkerPoolServer — httpd/nginx-style: `worker_processes auto;` spawns
+//     one worker per *detected* CPU at startup. In a container that detects
+//     the host's CPUs and over-threads; with the adaptive view it sizes to
+//     effective CPUs, and can re-size on a graceful reload.
+//
+//   * CacheServer — MongoDB/WiredTiger-style: cache bytes = 50% of
+//     (detected RAM − 1 GiB). Detecting host RAM inside a small container
+//     commits a cache far beyond the memory limit and thrashes; the
+//     adaptive view right-sizes it and follows effective memory.
+//
+// Both serve an open-loop request stream so the damage is measured the way
+// operators feel it: throughput and tail latency.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "src/container/container.h"
+#include "src/sched/fair_scheduler.h"
+#include "src/util/stats.h"
+#include "src/util/types.h"
+
+namespace arv::server {
+
+/// How a server decides its resource-dependent knob at startup.
+enum class Sizing {
+  kDetected,  ///< probe through sysconf (host values in a stock container,
+              ///< effective values behind the adaptive view)
+  kFixed,     ///< operator-pinned value
+};
+
+struct RequestStats {
+  std::uint64_t completed = 0;
+  std::uint64_t arrived = 0;
+  RunningStats latency_us;
+  std::vector<double> latencies;  ///< per-request, for percentiles
+
+  double p95_ms() const;
+  double throughput_per_sec(SimDuration elapsed) const;
+};
+
+struct WebConfig {
+  Sizing sizing = Sizing::kDetected;
+  int fixed_workers = 0;          ///< for kFixed
+  double arrivals_per_sec = 800;  ///< open-loop request rate
+  SimDuration service_cpu = 4 * units::msec;  ///< CPU per request
+  double alpha = 0.01;  ///< per-worker coordination overhead
+  double beta = 0.08;   ///< oversubscription penalty
+  /// Re-read the CPU count and resize the pool this often (graceful
+  /// reload); 0 disables re-sizing (size once at startup, like stock httpd).
+  SimDuration resize_interval = 0;
+  std::size_t max_queue = 10000;  ///< accept queue bound; beyond = drops
+};
+
+class WorkerPoolServer : public sched::Schedulable {
+ public:
+  WorkerPoolServer(container::Host& host, container::Container& target,
+                   WebConfig config);
+  ~WorkerPoolServer() override;
+  WorkerPoolServer(const WorkerPoolServer&) = delete;
+  WorkerPoolServer& operator=(const WorkerPoolServer&) = delete;
+
+  // --- sched::Schedulable ---------------------------------------------------
+  int runnable_threads() const override;
+  void consume(SimTime now, SimDuration dt, CpuTime grant) override;
+
+  int workers() const { return workers_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  const RequestStats& stats() const { return stats_; }
+  const std::vector<int>& worker_trace() const { return worker_trace_; }
+
+ private:
+  int detect_workers() const;
+  void admit_arrivals(SimTime now, SimDuration dt);
+
+  container::Host& host_;
+  container::Container& container_;
+  proc::Pid pid_;
+  WebConfig config_;
+  int workers_;
+  std::deque<SimTime> queue_;  ///< arrival time of each queued request
+  CpuTime current_request_progress_ = 0;
+  SimTime next_resize_ = 0;
+  std::uint64_t dropped_ = 0;
+  double arrival_accumulator_ = 0;
+  RequestStats stats_;
+  std::vector<int> worker_trace_;
+  bool attached_ = false;
+};
+
+struct CacheConfig {
+  Sizing sizing = Sizing::kDetected;
+  Bytes fixed_cache = 0;  ///< for kFixed
+  double arrivals_per_sec = 400;
+  SimDuration service_cpu = 2 * units::msec;  ///< CPU per request (hit)
+  /// Extra CPU per miss (index walk) plus backing-store stall.
+  SimDuration miss_extra_cpu = 2 * units::msec;
+  SimDuration miss_stall = 3 * units::msec;
+  Bytes dataset = 8 * units::GiB;  ///< hot data the cache covers
+  int worker_threads = 8;
+  /// Re-read effective memory and resize the cache this often; 0 = never.
+  SimDuration resize_interval = 0;
+};
+
+class CacheServer : public sched::Schedulable {
+ public:
+  CacheServer(container::Host& host, container::Container& target,
+              CacheConfig config);
+  ~CacheServer() override;
+  CacheServer(const CacheServer&) = delete;
+  CacheServer& operator=(const CacheServer&) = delete;
+
+  // --- sched::Schedulable ---------------------------------------------------
+  int runnable_threads() const override;
+  void consume(SimTime now, SimDuration dt, CpuTime grant) override;
+
+  Bytes cache_target() const { return cache_target_; }
+  Bytes cache_committed() const { return cache_committed_; }
+  double hit_ratio() const;
+  const RequestStats& stats() const { return stats_; }
+
+ private:
+  /// WiredTiger's rule: 50% of (detected RAM - 1 GiB), floor 256 MiB.
+  Bytes detect_cache_bytes() const;
+  void grow_cache(SimTime now, SimDuration dt, CpuTime grant);
+
+  container::Host& host_;
+  container::Container& container_;
+  proc::Pid pid_;
+  CacheConfig config_;
+  Bytes cache_target_;
+  Bytes cache_committed_ = 0;
+  double arrival_accumulator_ = 0;
+  std::deque<SimTime> queue_;
+  CpuTime current_request_progress_ = 0;
+  SimTime stalled_until_ = 0;
+  SimTime next_resize_ = 0;
+  RequestStats stats_;
+  bool attached_ = false;
+};
+
+}  // namespace arv::server

@@ -1,0 +1,75 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace arv::sim {
+
+Engine::Engine(SimDuration tick_length) : tick_length_(tick_length) {
+  ARV_ASSERT_MSG(tick_length > 0, "tick length must be positive");
+}
+
+void Engine::add_component(TickComponent* component) {
+  ARV_ASSERT(component != nullptr);
+  ARV_ASSERT_MSG(std::find(components_.begin(), components_.end(), component) ==
+                     components_.end(),
+                 "component registered twice");
+  components_.push_back(component);
+}
+
+void Engine::remove_component(TickComponent* component) {
+  components_.erase(std::remove(components_.begin(), components_.end(), component),
+                    components_.end());
+}
+
+void Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  ARV_ASSERT_MSG(when >= now_, "cannot schedule events in the past");
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_after(SimDuration delay, std::function<void()> fn) {
+  ARV_ASSERT(delay >= 0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::fire_due_events() {
+  while (!events_.empty() && events_.top().when <= now_) {
+    // Copy out before pop: the callback may schedule new events, which
+    // mutates the queue.
+    auto fn = events_.top().fn;
+    events_.pop();
+    fn();
+  }
+}
+
+void Engine::step() {
+  now_ += tick_length_;
+  ++ticks_;
+  fire_due_events();
+  // Snapshot so that components added/removed mid-tick take effect next tick.
+  const std::vector<TickComponent*> snapshot = components_;
+  for (TickComponent* component : snapshot) {
+    component->tick(now_, tick_length_);
+  }
+}
+
+void Engine::run_for(SimDuration duration) {
+  ARV_ASSERT(duration >= 0);
+  const SimTime deadline = now_ + duration;
+  while (now_ < deadline) {
+    step();
+  }
+}
+
+bool Engine::run_until(const std::function<bool()>& done, SimTime deadline) {
+  while (now_ < deadline) {
+    step();
+    if (done()) {
+      return true;
+    }
+  }
+  return done();
+}
+
+}  // namespace arv::sim

@@ -1,0 +1,31 @@
+// Internal invariant checking.
+//
+// ARV_ASSERT is active in all build types: the simulation layers lean on it
+// to document and enforce model invariants (conservation of CPU time, page
+// accounting balance, ...). Violations indicate a bug in arv itself, never a
+// user error, so the failure is loud and fatal.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace arv::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "arv: invariant violated: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace arv::detail
+
+#define ARV_ASSERT(expr)                                                \
+  (static_cast<bool>(expr)                                              \
+       ? static_cast<void>(0)                                           \
+       : ::arv::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define ARV_ASSERT_MSG(expr, msg)                                    \
+  (static_cast<bool>(expr)                                           \
+       ? static_cast<void>(0)                                        \
+       : ::arv::detail::assert_fail(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulation must be bit-for-bit reproducible across runs and platforms,
+// so we ship our own small generator (xoshiro256** seeded via splitmix64)
+// instead of relying on the standard library's unspecified distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/assert.h"
+
+namespace arv {
+
+/// xoshiro256** PRNG. Deterministic, fast, and good enough for workload
+/// jitter; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-seed the full 256-bit state from a single word via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Multiplicative jitter: value * U[1-spread, 1+spread].
+  double jitter(double value, double spread);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace arv

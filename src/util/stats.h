@@ -1,0 +1,60 @@
+// Small statistics helpers used by the scheduler (load averages), the
+// experiment harness (series summaries), and tests (distribution checks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace arv {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance; 0 when n < 2.
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average, the same shape the kernel uses for
+/// /proc/loadavg: next = decay * prev + (1 - decay) * sample.
+class Ema {
+ public:
+  /// `decay` in (0, 1); closer to 1 means a longer memory.
+  explicit Ema(double decay) : decay_(decay) {}
+
+  void add(double sample);
+  double value() const { return value_; }
+  bool primed() const { return primed_; }
+  void reset();
+
+  /// Force the current value (e.g. seeding a load average with history).
+  void prime(double value) {
+    value_ = value;
+    primed_ = true;
+  }
+
+ private:
+  double decay_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Percentile over a copy of the samples (p in [0, 100], nearest-rank).
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace arv

@@ -1,0 +1,125 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+
+#include "src/util/str.h"
+
+#include "src/util/assert.h"
+
+namespace arv {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ARV_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ARV_ASSERT_MSG(cells.size() == headers_.size(), "row arity must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) {
+    cells.push_back(strf("%.*f", precision, v));
+  }
+  add_row(std::move(cells));
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += c == 0 ? "| " : " | ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (const std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '|';
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  auto render = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        line += ',';
+      }
+      line += csv_escape(row[c]);
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render(headers_);
+  for (const auto& row : rows_) {
+    out += render(row);
+  }
+  return out;
+}
+
+std::string format_bytes(long long bytes) {
+  const char* suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < std::size(suffixes)) {
+    value /= 1024.0;
+    ++idx;
+  }
+  if (idx == 0) {
+    return strf("%lldB", bytes);
+  }
+  return strf("%.2f%s", value, suffixes[idx]);
+}
+
+std::string format_duration_us(long long usec) {
+  if (usec >= 1000 * 1000) {
+    return strf("%.2fs", static_cast<double>(usec) / 1e6);
+  }
+  if (usec >= 1000) {
+    return strf("%.2fms", static_cast<double>(usec) / 1e3);
+  }
+  return strf("%lldus", usec);
+}
+
+}  // namespace arv

@@ -1,0 +1,40 @@
+// ASCII table and CSV rendering for the experiment harness and bench
+// binaries. Every figure-reproduction bench prints its series through this so
+// the output format is uniform across experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace arv {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimal places.
+  void add_row_values(const std::vector<double>& values, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned ASCII table with a header separator.
+  std::string to_ascii() const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format bytes with a binary-unit suffix ("1.50GiB").
+std::string format_bytes(long long bytes);
+
+/// Format microseconds as a human-readable duration ("1.25s", "3.0ms").
+std::string format_duration_us(long long usec);
+
+}  // namespace arv

@@ -1,0 +1,56 @@
+// Fundamental value types shared by every arv subsystem.
+//
+// All simulated time is integer microseconds (SimTime); all memory is integer
+// bytes (Bytes). Integer arithmetic keeps the simulation deterministic and
+// platform-independent — there is no floating-point time anywhere in the
+// kernel-model layers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace arv {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, also in microseconds.
+using SimDuration = std::int64_t;
+
+/// Memory quantities in bytes. Signed so that deltas are representable.
+using Bytes = std::int64_t;
+
+/// CPU time in microseconds. One simulated core contributes `dt`
+/// microseconds of CpuTime per tick of length `dt`.
+using CpuTime = std::int64_t;
+
+namespace units {
+
+inline constexpr SimDuration usec = 1;
+inline constexpr SimDuration msec = 1000;
+inline constexpr SimDuration sec = 1000 * 1000;
+inline constexpr SimDuration minute = 60 * sec;
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+/// Page size used by the memory model (matches x86-64 base pages).
+inline constexpr Bytes page = 4 * KiB;
+
+}  // namespace units
+
+/// Sentinel for "no limit" knobs (cfs_quota_us = -1, memory.limit = max...).
+inline constexpr std::int64_t kUnlimited = std::numeric_limits<std::int64_t>::max();
+
+/// Round `b` up to the next whole page.
+constexpr Bytes page_align_up(Bytes b) {
+  return (b + units::page - 1) / units::page * units::page;
+}
+
+/// Integer ceiling division for non-negative operands.
+constexpr std::int64_t ceil_div(std::int64_t num, std::int64_t den) {
+  return (num + den - 1) / den;
+}
+
+}  // namespace arv

@@ -1,0 +1,326 @@
+#include "src/vfs/virtual_sysfs.h"
+
+#include <charconv>
+
+#include "src/util/assert.h"
+#include "src/util/str.h"
+#include "src/util/cpuset.h"
+
+namespace arv::vfs {
+namespace {
+
+constexpr const char* kCpuOnlinePath = "/sys/devices/system/cpu/online";
+constexpr const char* kMeminfoPath = "/proc/meminfo";
+constexpr const char* kLoadavgPath = "/proc/loadavg";
+constexpr const char* kCpuinfoPath = "/proc/cpuinfo";
+
+// One /proc/cpuinfo record per visible processor, the fields runtimes grep.
+std::string cpuinfo_for(int cpus) {
+  std::string out;
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    out += strf(
+        "processor\t: %d\nmodel name\t: Intel(R) Xeon(R) CPU E5-2650 v3 @ "
+        "2.30GHz\ncpu MHz\t\t: 2300.000\n\n",
+        cpu);
+  }
+  return out;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view text) {
+  while (!text.empty() && (text.back() == '\n' || text.back() == ' ')) {
+    text.remove_suffix(1);
+  }
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+VirtualSysfs::VirtualSysfs(proc::ProcessTable& processes, cgroup::Tree& tree,
+                           sched::FairScheduler& scheduler,
+                           mem::MemoryManager& memory, core::NsMonitor& monitor)
+    : processes_(processes),
+      tree_(tree),
+      scheduler_(scheduler),
+      memory_(memory),
+      monitor_(monitor) {
+  build_host_files();
+  tree_.subscribe([this](const cgroup::Event& event) {
+    if (event.kind == cgroup::EventKind::kDestroyed) {
+      // Knob files of a destroyed cgroup disappear, as in the real sysfs.
+      fs_.remove_subtree("/sys/fs/cgroup/cpu/" + event.name + "/");
+      fs_.remove_subtree("/sys/fs/cgroup/cpuset/" + event.name + "/");
+      fs_.remove_subtree("/sys/fs/cgroup/memory/" + event.name + "/");
+      fs_.remove_subtree("/sys/fs/cgroup/unified/" + event.name + "/");
+    }
+  });
+}
+
+std::string VirtualSysfs::meminfo_for(Bytes total, Bytes free) const {
+  // procfs reports kB. MemAvailable approximated as MemFree (no page cache
+  // in the model).
+  return strf(
+      "MemTotal:       %lld kB\nMemFree:        %lld kB\nMemAvailable:   %lld kB\n",
+      static_cast<long long>(total / 1024), static_cast<long long>(free / 1024),
+      static_cast<long long>(free / 1024));
+}
+
+void VirtualSysfs::build_host_files() {
+  fs_.register_file(kCpuOnlinePath, [this] {
+    return CpuSet::all(scheduler_.online_cpus()).to_string() + "\n";
+  });
+  fs_.register_file("/sys/devices/system/cpu/possible", [this] {
+    return CpuSet::all(scheduler_.online_cpus()).to_string() + "\n";
+  });
+  fs_.register_file(kMeminfoPath, [this] {
+    return meminfo_for(memory_.total_ram(), memory_.free_memory());
+  });
+  fs_.register_file(kLoadavgPath, [this] {
+    const double load = scheduler_.loadavg();
+    return strf("%.2f %.2f %.2f %d/%zu 0\n", load, load, load,
+                scheduler_.nr_running(), processes_.live_count());
+  });
+  fs_.register_file(kCpuinfoPath,
+                    [this] { return cpuinfo_for(scheduler_.online_cpus()); });
+}
+
+void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
+  ARV_ASSERT(tree_.exists(id));
+  const std::string name = tree_.get(id).name();
+
+  const std::string cpu_dir = "/sys/fs/cgroup/cpu/" + name + "/";
+  fs_.register_writable(
+      cpu_dir + "cpu.shares",
+      [this, id] { return strf("%lld\n", static_cast<long long>(tree_.get(id).cpu().shares)); },
+      [this, id](std::string_view v) {
+        const auto value = parse_i64(v);
+        if (!value || *value < 2) {
+          return false;
+        }
+        tree_.set_cpu_shares(id, *value);
+        return true;
+      });
+  fs_.register_writable(
+      cpu_dir + "cpu.cfs_quota_us",
+      [this, id] {
+        const auto quota = tree_.get(id).cpu().cfs_quota_us;
+        return strf("%lld\n", static_cast<long long>(quota == kUnlimited ? -1 : quota));
+      },
+      [this, id](std::string_view v) {
+        const auto value = parse_i64(v);
+        if (!value || (*value <= 0 && *value != -1)) {
+          return false;
+        }
+        tree_.set_cfs_quota(id, *value == -1 ? kUnlimited : *value);
+        return true;
+      });
+  fs_.register_writable(
+      cpu_dir + "cpu.cfs_period_us",
+      [this, id] { return strf("%lld\n", static_cast<long long>(tree_.get(id).cpu().cfs_period_us)); },
+      [this, id](std::string_view v) {
+        const auto value = parse_i64(v);
+        if (!value || *value < 1000) {
+          return false;
+        }
+        tree_.set_cfs_period(id, *value);
+        return true;
+      });
+
+  fs_.register_writable(
+      "/sys/fs/cgroup/cpuset/" + name + "/cpuset.cpus",
+      [this, id] { return tree_.get(id).cpu().cpuset.to_string() + "\n"; },
+      [this, id](std::string_view v) {
+        const auto mask = CpuSet::parse(v);
+        if (!mask || mask->span() > tree_.online_cpus()) {
+          return false;
+        }
+        tree_.set_cpuset(id, *mask);
+        return true;
+      });
+
+  const std::string mem_dir = "/sys/fs/cgroup/memory/" + name + "/";
+  fs_.register_writable(
+      mem_dir + "memory.limit_in_bytes",
+      [this, id] { return strf("%lld\n", static_cast<long long>(tree_.get(id).mem().limit_in_bytes)); },
+      [this, id](std::string_view v) {
+        const auto value = parse_i64(v);
+        if (!value || *value <= 0) {
+          return false;
+        }
+        tree_.set_mem_limit(id, *value);
+        return true;
+      });
+  fs_.register_writable(
+      mem_dir + "memory.soft_limit_in_bytes",
+      [this, id] {
+        return strf("%lld\n", static_cast<long long>(tree_.get(id).mem().soft_limit_in_bytes));
+      },
+      [this, id](std::string_view v) {
+        const auto value = parse_i64(v);
+        if (!value || *value <= 0) {
+          return false;
+        }
+        tree_.set_mem_soft_limit(id, *value);
+        return true;
+      });
+  fs_.register_file(mem_dir + "memory.usage_in_bytes",
+                    [this, id] { return strf("%lld\n", static_cast<long long>(memory_.usage(id))); });
+
+  // --- cgroup v2 (unified hierarchy) views of the same knobs ----------------
+  const std::string v2_dir = "/sys/fs/cgroup/unified/" + name + "/";
+  fs_.register_writable(
+      v2_dir + "cpu.max",
+      [this, id] {
+        const auto& cfg = tree_.get(id).cpu();
+        if (cfg.cfs_quota_us == kUnlimited) {
+          return strf("max %lld\n", static_cast<long long>(cfg.cfs_period_us));
+        }
+        return strf("%lld %lld\n", static_cast<long long>(cfg.cfs_quota_us),
+                    static_cast<long long>(cfg.cfs_period_us));
+      },
+      [this, id](std::string_view v) {
+        const auto fields = split(std::string(trim(v)), ' ');
+        if (fields.empty() || fields.size() > 2) {
+          return false;
+        }
+        std::int64_t quota = kUnlimited;
+        if (fields[0] != "max") {
+          const auto parsed = parse_i64(fields[0]);
+          if (!parsed || *parsed <= 0) {
+            return false;
+          }
+          quota = *parsed;
+        }
+        if (fields.size() == 2) {
+          const auto period = parse_i64(fields[1]);
+          if (!period || *period < 1000) {
+            return false;
+          }
+          tree_.set_cfs_period(id, *period);
+        }
+        tree_.set_cfs_quota(id, quota);
+        return true;
+      });
+  fs_.register_writable(
+      v2_dir + "cpu.weight",
+      [this, id] {
+        // Kernel mapping: weight = 1 + ((shares - 2) * 9999) / 262142.
+        const std::int64_t shares = tree_.get(id).cpu().shares;
+        return strf("%lld\n",
+                    static_cast<long long>(1 + (shares - 2) * 9999 / 262142));
+      },
+      [this, id](std::string_view v) {
+        const auto weight = parse_i64(v);
+        if (!weight || *weight < 1 || *weight > 10000) {
+          return false;
+        }
+        // Inverse of the kernel mapping: shares = 2 + (weight - 1)*262142/9999.
+        tree_.set_cpu_shares(id, 2 + (*weight - 1) * 262142 / 9999);
+        return true;
+      });
+  fs_.register_writable(
+      v2_dir + "memory.max",
+      [this, id] {
+        const Bytes limit = tree_.get(id).mem().limit_in_bytes;
+        return limit == kUnlimited
+                   ? std::string("max\n")
+                   : strf("%lld\n", static_cast<long long>(limit));
+      },
+      [this, id](std::string_view v) {
+        if (trim(v) == "max") {
+          return false;  // raising to unlimited is not modeled
+        }
+        const auto value = parse_i64(v);
+        if (!value || *value <= 0) {
+          return false;
+        }
+        tree_.set_mem_limit(id, *value);
+        return true;
+      });
+  fs_.register_writable(
+      v2_dir + "memory.low",
+      [this, id] {
+        const Bytes soft = tree_.get(id).mem().soft_limit_in_bytes;
+        return soft == kUnlimited ? std::string("0\n")
+                                  : strf("%lld\n", static_cast<long long>(soft));
+      },
+      [this, id](std::string_view v) {
+        const auto value = parse_i64(v);
+        if (!value || *value <= 0) {
+          return false;
+        }
+        tree_.set_mem_soft_limit(id, *value);
+        return true;
+      });
+  fs_.register_file(v2_dir + "memory.current", [this, id] {
+    return strf("%lld\n", static_cast<long long>(memory_.usage(id)));
+  });
+  fs_.register_file(v2_dir + "cpu.stat", [this, id] {
+    const auto stats = scheduler_.stats(id);
+    return strf("usage_usec %lld\nthrottled_usec %lld\n",
+                static_cast<long long>(stats.total_usage),
+                static_cast<long long>(stats.throttled_time));
+  });
+}
+
+std::shared_ptr<core::SysNamespace> VirtualSysfs::sys_ns_of(proc::Pid pid) const {
+  if (!processes_.exists(pid)) {
+    return nullptr;
+  }
+  const auto ns = processes_.namespace_of(pid, proc::Namespace::Kind::kSys);
+  return std::dynamic_pointer_cast<core::SysNamespace>(ns);
+}
+
+std::optional<std::string> VirtualSysfs::read(proc::Pid pid,
+                                              const std::string& path) const {
+  // §3.2: "when a process probes system resources and is linked to its own
+  // namespaces other than the init namespaces, a virtual sysfs is created
+  // for this process" — queries are redirected to the per-container view.
+  if (const auto ns = sys_ns_of(pid)) {
+    if (path == kCpuOnlinePath) {
+      return CpuSet::first_n(ns->effective_cpus()).to_string() + "\n";
+    }
+    if (path == kMeminfoPath) {
+      const Bytes total = ns->effective_memory();
+      const Bytes used = memory_.usage(ns->cgroup());
+      return meminfo_for(total, std::max<Bytes>(0, total - used));
+    }
+    if (path == kCpuinfoPath) {
+      return cpuinfo_for(ns->effective_cpus());
+    }
+  }
+  return fs_.read(path);
+}
+
+bool VirtualSysfs::write(const std::string& path, std::string_view value) {
+  return fs_.write(path, value);
+}
+
+long VirtualSysfs::sysconf(proc::Pid pid, Sysconf name) const {
+  const auto ns = sys_ns_of(pid);
+  switch (name) {
+    case Sysconf::kNProcessorsOnln:
+    case Sysconf::kNProcessorsConf:
+      return ns ? ns->effective_cpus() : scheduler_.online_cpus();
+    case Sysconf::kPhysPages: {
+      const Bytes total = ns ? ns->effective_memory() : memory_.total_ram();
+      return static_cast<long>(total / units::page);
+    }
+    case Sysconf::kAvPhysPages: {
+      if (ns) {
+        const Bytes avail = ns->effective_memory() - memory_.usage(ns->cgroup());
+        return static_cast<long>(std::max<Bytes>(0, avail) / units::page);
+      }
+      return static_cast<long>(memory_.free_memory() / units::page);
+    }
+    case Sysconf::kPageSize:
+      return static_cast<long>(units::page);
+  }
+  return -1;
+}
+
+}  // namespace arv::vfs

@@ -1,0 +1,73 @@
+// VirtualSysfs — the interception layer of §3.2.
+//
+// Every resource query carries the pid of the asking process. If the process
+// is an ordinary host process, the answer comes from the host-wide view
+// (total CPUs / total memory); if it is linked to a per-container
+// sys_namespace, the query is redirected to that namespace and the
+// *effective* resources are returned. The glibc sysconf() names the paper
+// cites (_SC_NPROCESSORS_ONLN, _SC_PHYS_PAGES, _SC_PAGESIZE) are shimmed on
+// top of the same redirection.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/cgroup/cgroup.h"
+#include "src/core/ns_monitor.h"
+#include "src/mem/memory_manager.h"
+#include "src/proc/process.h"
+#include "src/sched/fair_scheduler.h"
+#include "src/vfs/pseudo_fs.h"
+
+namespace arv::vfs {
+
+/// The subset of sysconf(3) names containerized runtimes probe.
+enum class Sysconf {
+  kNProcessorsOnln,  ///< _SC_NPROCESSORS_ONLN
+  kNProcessorsConf,  ///< _SC_NPROCESSORS_CONF
+  kPhysPages,        ///< _SC_PHYS_PAGES
+  kAvPhysPages,      ///< _SC_AVPHYS_PAGES
+  kPageSize,         ///< _SC_PAGESIZE
+};
+
+class VirtualSysfs {
+ public:
+  VirtualSysfs(proc::ProcessTable& processes, cgroup::Tree& tree,
+               sched::FairScheduler& scheduler, mem::MemoryManager& memory,
+               core::NsMonitor& monitor);
+
+  /// open()+read() of a pseudo-file as process `pid`. Container processes
+  /// reading the paths below get their per-container view:
+  ///   /sys/devices/system/cpu/online      "0-(E_CPU-1)"
+  ///   /proc/meminfo                        MemTotal/MemFree from E_MEM
+  ///   /proc/loadavg                        host loadavg (shared kernel)
+  std::optional<std::string> read(proc::Pid pid, const std::string& path) const;
+
+  /// Write to a knob file (host-side administration, e.g. docker update).
+  bool write(const std::string& path, std::string_view value);
+
+  /// sysconf(3) shim with the same per-process redirection.
+  long sysconf(proc::Pid pid, Sysconf name) const;
+
+  /// Expose the raw host fs for listing/tests.
+  const PseudoFs& host_fs() const { return fs_; }
+
+  /// (Re)build the /sys/fs/cgroup knob files for a cgroup. Called by the
+  /// container runtime on creation; removal happens automatically on the
+  /// cgroup-destroyed event.
+  void export_cgroup_files(cgroup::CgroupId id);
+
+ private:
+  void build_host_files();
+  std::shared_ptr<core::SysNamespace> sys_ns_of(proc::Pid pid) const;
+  std::string meminfo_for(Bytes total, Bytes free) const;
+
+  proc::ProcessTable& processes_;
+  cgroup::Tree& tree_;
+  sched::FairScheduler& scheduler_;
+  mem::MemoryManager& memory_;
+  core::NsMonitor& monitor_;
+  PseudoFs fs_;
+};
+
+}  // namespace arv::vfs

@@ -1,0 +1,140 @@
+#include "src/workloads/dockerhub.h"
+
+#include "src/util/assert.h"
+
+namespace arv::workloads {
+
+std::string_view language_name(Language lang) {
+  switch (lang) {
+    case Language::kC:
+      return "c";
+    case Language::kCpp:
+      return "c++";
+    case Language::kJava:
+      return "java";
+    case Language::kGo:
+      return "go";
+    case Language::kPython:
+      return "python";
+    case Language::kPhp:
+      return "php";
+    case Language::kRuby:
+      return "ruby";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::string_view kCpuProbe = "sysconf(_SC_NPROCESSORS_ONLN)";
+constexpr std::string_view kMemProbe = "sysconf(_SC_PHYS_PAGES)";
+constexpr std::string_view kBothProbe = "sysconf CPU+memory";
+constexpr std::string_view kJvmProbe = "JVM ergonomics (GC threads, heap = phys/4)";
+constexpr std::string_view kV8Probe = "V8 heap sizing from physical memory";
+
+std::vector<DockerImage> build_dataset() {
+  std::vector<DockerImage> images;
+  auto add = [&images](std::string_view name, Language lang, bool affected,
+                       std::string_view probe = {}) {
+    images.push_back(DockerImage{name, lang, affected, probe});
+  };
+
+  // --- Java: 25 images, all affected (JVM ergonomics) -----------------------
+  for (const auto name :
+       {"tomcat", "openjdk", "elasticsearch", "cassandra", "solr", "jenkins",
+        "kafka", "zookeeper", "neo4j", "hadoop", "spark", "storm", "flink",
+        "activemq", "jetty", "groovy", "maven", "gradle", "nifi", "logstash",
+        "tika", "hbase", "hive", "wildfly", "payara"}) {
+    add(name, Language::kJava, true, kJvmProbe);
+  }
+
+  // --- PHP: 9 images, all affected (opcache/worker autosizing) --------------
+  for (const auto name : {"php", "wordpress", "drupal", "joomla", "nextcloud",
+                          "phpmyadmin", "matomo", "mediawiki", "composer"}) {
+    add(name, Language::kPhp, true, kBothProbe);
+  }
+
+  // --- C++: 16 images, 12 affected -------------------------------------------
+  for (const auto name : {"mongo", "mysql", "mariadb", "rethinkdb",
+                          "couchbase", "foundationdb", "arangodb", "ceph"}) {
+    add(name, Language::kCpp, true, kBothProbe);
+  }
+  for (const auto name : {"rocksdb", "clickhouse", "scylla"}) {
+    add(name, Language::kCpp, true, kMemProbe);  // cache sized from RAM
+  }
+  add("chrome-headless", Language::kCpp, true, kV8Probe);
+  for (const auto name : {"gcc", "protobuf", "grpc", "swipl"}) {
+    add(name, Language::kCpp, false);
+  }
+
+  // --- C: 14 images, 7 affected ----------------------------------------------
+  for (const auto name :
+       {"httpd", "nginx", "postgres", "redis", "memcached", "haproxy", "varnish"}) {
+    add(name, Language::kC, true, kCpuProbe);
+  }
+  for (const auto name :
+       {"busybox", "alpine", "debian", "ubuntu", "centos", "bash", "curl"}) {
+    add(name, Language::kC, false);
+  }
+
+  // --- Go: 12 images, 4 affected (GOMAXPROCS = runtime.NumCPU) ---------------
+  for (const auto name : {"influxdb", "telegraf", "consul", "vault"}) {
+    add(name, Language::kGo, true, kCpuProbe);
+  }
+  for (const auto name : {"traefik", "registry", "etcd", "prometheus",
+                          "grafana-agent", "minio", "caddy", "syncthing"}) {
+    add(name, Language::kGo, false);
+  }
+
+  // --- Python: 13 images, 3 affected (worker-count autotuning) ---------------
+  for (const auto name : {"celery", "gunicorn-app", "airflow"}) {
+    add(name, Language::kPython, true, kCpuProbe);
+  }
+  for (const auto name : {"python", "django-app", "flask-app", "jupyter",
+                          "ansible", "superset", "sentry", "saltstack",
+                          "home-assistant", "odoo"}) {
+    add(name, Language::kPython, false);
+  }
+
+  // --- Ruby: 11 images, 2 affected (puma worker autosizing) -------------------
+  for (const auto name : {"discourse", "gitlab"}) {
+    add(name, Language::kRuby, true, kBothProbe);
+  }
+  for (const auto name : {"ruby", "rails-app", "redmine", "fluentd", "jekyll",
+                          "sinatra-app", "vagrant", "chef", "puppet"}) {
+    add(name, Language::kRuby, false);
+  }
+
+  ARV_ASSERT_MSG(images.size() == 100, "dataset must contain exactly 100 images");
+  return images;
+}
+
+}  // namespace
+
+const std::vector<DockerImage>& dockerhub_top100() {
+  static const std::vector<DockerImage> dataset = build_dataset();
+  return dataset;
+}
+
+std::map<Language, LanguageCount> count_by_language() {
+  std::map<Language, LanguageCount> counts;
+  for (const auto& image : dockerhub_top100()) {
+    auto& entry = counts[image.language];
+    if (image.affected) {
+      ++entry.affected;
+    } else {
+      ++entry.unaffected;
+    }
+  }
+  return counts;
+}
+
+int total_affected() {
+  int affected = 0;
+  for (const auto& image : dockerhub_top100()) {
+    affected += image.affected ? 1 : 0;
+  }
+  return affected;
+}
+
+}  // namespace arv::workloads

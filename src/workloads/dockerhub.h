@@ -1,0 +1,48 @@
+// The Figure 1 study: which of the top-100 DockerHub application images are
+// potentially affected by the container semantic gap.
+//
+// The paper's authors manually audited the source of the top 100 images for
+// auto-configuration that probes kernel-reported resources (sysconf, sysfs,
+// /proc). The original audit list is not published, so this module embeds a
+// reconstructed dataset with the paper's reported aggregates: 100 images
+// over 7 languages, 62 affected in total, all Java and PHP images affected,
+// a majority of C++ images and half of C images affected.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arv::workloads {
+
+enum class Language { kC, kCpp, kJava, kGo, kPython, kPhp, kRuby };
+
+std::string_view language_name(Language lang);
+
+struct DockerImage {
+  std::string_view name;
+  Language language;
+  /// Probes kernel-reported resource availability for auto-configuration.
+  bool affected;
+  /// What the image probes (empty for unaffected images).
+  std::string_view probe;
+};
+
+/// The embedded 100-image dataset.
+const std::vector<DockerImage>& dockerhub_top100();
+
+struct LanguageCount {
+  int affected = 0;
+  int unaffected = 0;
+  int total() const { return affected + unaffected; }
+};
+
+/// Aggregate per language — the bars of Figure 1.
+std::map<Language, LanguageCount> count_by_language();
+
+/// Total affected images (the paper reports 62/100).
+int total_affected();
+
+}  // namespace arv::workloads

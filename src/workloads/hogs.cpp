@@ -1,0 +1,76 @@
+#include "src/workloads/hogs.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace arv::workloads {
+
+CpuHog::CpuHog(container::Host& host, container::Container& target, int threads,
+               SimDuration cpu_budget)
+    : host_(host), container_(target), threads_(threads), remaining_(cpu_budget) {
+  ARV_ASSERT(threads >= 1);
+  ARV_ASSERT(cpu_budget > 0);
+  host_.scheduler().attach(container_.cgroup(), this);
+  attached_ = true;
+}
+
+CpuHog::~CpuHog() {
+  if (attached_) {
+    host_.scheduler().detach(container_.cgroup(), this);
+  }
+}
+
+int CpuHog::runnable_threads() const { return finished() ? 0 : threads_; }
+
+void CpuHog::consume(SimTime now, SimDuration /*dt*/, CpuTime grant) {
+  if (finished()) {
+    return;
+  }
+  remaining_ -= grant;
+  if (finished() && finish_time_ < 0) {
+    finish_time_ = now;
+  }
+}
+
+MemHog::MemHog(container::Host& host, container::Container& target, Bytes footprint,
+               Bytes charge_per_sec)
+    : host_(host),
+      container_(target),
+      footprint_(footprint),
+      charge_per_sec_(charge_per_sec) {
+  ARV_ASSERT(footprint > 0 && charge_per_sec > 0);
+  host_.scheduler().attach(container_.cgroup(), this);
+  attached_ = true;
+}
+
+MemHog::~MemHog() {
+  if (attached_) {
+    host_.scheduler().detach(container_.cgroup(), this);
+    if (charged_ > 0) {
+      host_.memory().uncharge(container_.cgroup(), charged_);
+    }
+  }
+}
+
+void MemHog::consume(SimTime now, SimDuration /*dt*/, CpuTime grant) {
+  if (now < stalled_until_ || grant <= 0) {
+    return;
+  }
+  auto& memory = host_.memory();
+  if (charged_ < footprint_) {
+    const Bytes step =
+        std::min(footprint_ - charged_, grant * charge_per_sec_ / units::sec);
+    if (memory.charge(container_.cgroup(), step) != mem::ChargeResult::kOomKilled) {
+      charged_ += page_align_up(step);
+    }
+  }
+  // Keep the working set warm so reclaimed pages fault back in.
+  const Bytes touched = std::min(charged_, grant * charge_per_sec_ / units::sec);
+  const SimDuration stall = memory.touch(container_.cgroup(), touched);
+  if (stall > 0) {
+    stalled_until_ = now + stall;
+  }
+}
+
+}  // namespace arv::workloads

@@ -1,0 +1,65 @@
+// Background pressure generators: a sysbench-style CPU hog (Figure 8's nine
+// co-runners) and a memory hog (Figure 2(b)'s "memory-intensive workload in
+// the background").
+#pragma once
+
+#include <string>
+
+#include "src/container/container.h"
+#include "src/sched/fair_scheduler.h"
+#include "src/util/types.h"
+
+namespace arv::workloads {
+
+/// Burns `threads` CPUs' worth of work for a total CPU budget, then goes
+/// idle — the sysbench cpu analogue. Figure 8 staggers several of these so
+/// host CPU availability varies over the run.
+class CpuHog : public sched::Schedulable {
+ public:
+  CpuHog(container::Host& host, container::Container& target, int threads,
+         SimDuration cpu_budget);
+  ~CpuHog() override;
+  CpuHog(const CpuHog&) = delete;
+  CpuHog& operator=(const CpuHog&) = delete;
+
+  int runnable_threads() const override;
+  void consume(SimTime now, SimDuration dt, CpuTime grant) override;
+
+  bool finished() const { return remaining_ <= 0; }
+  SimTime finish_time() const { return finish_time_; }
+
+ private:
+  container::Host& host_;
+  container::Container& container_;
+  int threads_;
+  CpuTime remaining_;
+  SimTime finish_time_ = -1;
+  bool attached_ = false;
+};
+
+/// Gradually charges memory up to `footprint` and keeps touching it,
+/// creating sustained global memory pressure.
+class MemHog : public sched::Schedulable {
+ public:
+  MemHog(container::Host& host, container::Container& target, Bytes footprint,
+         Bytes charge_per_sec);
+  ~MemHog() override;
+  MemHog(const MemHog&) = delete;
+  MemHog& operator=(const MemHog&) = delete;
+
+  int runnable_threads() const override { return 1; }
+  void consume(SimTime now, SimDuration dt, CpuTime grant) override;
+
+  Bytes charged() const { return charged_; }
+
+ private:
+  container::Host& host_;
+  container::Container& container_;
+  Bytes footprint_;
+  Bytes charge_per_sec_;
+  Bytes charged_ = 0;
+  SimTime stalled_until_ = 0;
+  bool attached_ = false;
+};
+
+}  // namespace arv::workloads

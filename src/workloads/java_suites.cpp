@@ -1,0 +1,102 @@
+#include "src/workloads/java_suites.h"
+
+namespace arv::workloads {
+namespace {
+
+using jvm::JavaWorkload;
+using namespace arv::units;
+
+JavaWorkload make(const char* name, SimDuration work, int mutators,
+                  Bytes alloc_rate, Bytes live, double survival, double alpha) {
+  JavaWorkload w;
+  w.name = name;
+  w.total_work = work;
+  w.mutator_threads = mutators;
+  w.alloc_per_cpu_sec = alloc_rate;
+  w.live_set = live;
+  w.survival_ratio = survival;
+  w.gc_alpha = alpha;
+  return w;
+}
+
+}  // namespace
+
+std::vector<JavaWorkload> dacapo_suite() {
+  // Relative characteristics: h2 is live-set heavy (in-memory database,
+  // ~0.4 GiB working set — the Figure 2(b)/11 OOM candidate); lusearch and
+  // xalan are allocation-intensive with small live sets (their young
+  // generations balloon under ergonomics, the Figure 11 swap-collapse
+  // candidates); jython is GC-unfriendly (poor scan scalability); sunflow
+  // is a parallel renderer whose GC scales well (the Figure 8(b) subject).
+  return {
+      // h2's live set sits between JDK 9's 256 MiB auto heap (=> OOM) and
+      // the 500 MiB soft-tuned heap of Figure 2(b) (=> completes).
+      make("h2", 12 * sec, 8, 150 * MiB, 300 * MiB, 0.25, 0.04),
+      make("jython", 10 * sec, 4, 280 * MiB, 130 * MiB, 0.08, 0.06),
+      make("lusearch", 6 * sec, 16, 1400 * MiB, 70 * MiB, 0.05, 0.05),
+      make("sunflow", 9 * sec, 16, 380 * MiB, 110 * MiB, 0.07, 0.03),
+      make("xalan", 8 * sec, 16, 1200 * MiB, 90 * MiB, 0.06, 0.04),
+  };
+}
+
+std::vector<JavaWorkload> specjvm_suite() {
+  // SPECjvm2008 is throughput-oriented; mpegaudio is compute-bound with
+  // almost no allocation (its bars barely move in Figure 6(b)).
+  return {
+      make("compiler.compiler", 10 * sec, 16, 700 * MiB, 250 * MiB, 0.10, 0.05),
+      make("derby", 11 * sec, 8, 500 * MiB, 300 * MiB, 0.12, 0.05),
+      make("mpegaudio", 9 * sec, 16, 80 * MiB, 40 * MiB, 0.08, 0.05),
+      make("xml.validation", 10 * sec, 16, 900 * MiB, 180 * MiB, 0.08, 0.04),
+      make("xml.transform", 10 * sec, 16, 800 * MiB, 200 * MiB, 0.09, 0.04),
+  };
+}
+
+std::vector<JavaWorkload> hibench_suite() {
+  // Big-data workloads: multi-GiB live sets, so GC work per collection is
+  // large enough to use many workers (lower alpha => better scalability),
+  // which is why the adaptive gains persist at scale (§5.2 "Big data
+  // applications").
+  auto nweight = make("nweight", 40 * sec, 16, 1200 * MiB, 4 * GiB, 0.20, 0.015);
+  auto als = make("als", 35 * sec, 16, 1024 * MiB, 3 * GiB, 0.20, 0.020);
+  auto kmeans = make("kmeans", 30 * sec, 16, 800 * MiB, 2 * GiB, 0.18, 0.020);
+  auto pagerank = make("pagerank", 45 * sec, 16, 1400 * MiB, 5 * GiB, 0.22, 0.015);
+  for (auto* w : {&nweight, &als, &kmeans, &pagerank}) {
+    w->gc_cost_per_mib = 450;  // large-heap scans stream better per byte
+    w->touch_rate = 0.5;       // only part of a big working set is hot
+  }
+  return {nweight, als, kmeans, pagerank};
+}
+
+std::optional<JavaWorkload> find_java_workload(const std::string& name) {
+  for (const auto& suite : {dacapo_suite(), specjvm_suite(), hibench_suite()}) {
+    for (const auto& w : suite) {
+      if (w.name == name) {
+        return w;
+      }
+    }
+  }
+  if (name == "alloc-microbench") {
+    return alloc_microbench();
+  }
+  return std::nullopt;
+}
+
+jvm::JavaWorkload alloc_microbench() {
+  // §5.3: 40,000 iterations; +1 MiB allocated, -512 KiB freed per iteration.
+  // Half of every allocated byte stays live => ~20 GiB working set after
+  // ~40 GiB of allocation.
+  JavaWorkload w;
+  w.name = "alloc-microbench";
+  w.total_work = 150 * sec;
+  w.mutator_threads = 4;
+  w.alloc_per_cpu_sec = 273 * MiB;  // ~40 GiB over the run
+  w.live_set = 256 * MiB;
+  w.live_fraction_of_alloc = 0.5;
+  w.survival_ratio = 0.55;  // live fraction survives the nursery
+  w.gc_cost_per_mib = 300;
+  w.gc_alpha = 0.02;
+  w.touch_rate = 0.25;  // the hot end of an ever-growing set
+  return w;
+}
+
+}  // namespace arv::workloads

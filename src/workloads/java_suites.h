@@ -1,0 +1,40 @@
+// Parameter tables for the Java benchmark suites the paper evaluates
+// (§5.1): DaCapo, SPECjvm2008, HiBench, and the §5.3 allocation
+// micro-benchmark.
+//
+// The simulator executes cost models, not bytecode, so each benchmark is a
+// JavaWorkload parameter set. Parameters are chosen to match the suites'
+// published characteristics *relative to each other* — live-set size,
+// allocation intensity, mutator parallelism, GC scalability — because those
+// ratios, not absolute times, produce the paper's effects (which
+// configuration wins, where OOM/collapse happens).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/jvm/config.h"
+
+namespace arv::workloads {
+
+/// DaCapo benchmarks used throughout §2.2 and §5: h2, jython, lusearch,
+/// sunflow, xalan.
+std::vector<jvm::JavaWorkload> dacapo_suite();
+
+/// SPECjvm2008 benchmarks of Figure 6(b): compiler.compiler, derby,
+/// mpegaudio, xml.validation, xml.transform.
+std::vector<jvm::JavaWorkload> specjvm_suite();
+
+/// HiBench big-data workloads of Figure 9: nweight, als, kmeans, pagerank.
+/// Much larger live sets and heaps; GC scales to more threads.
+std::vector<jvm::JavaWorkload> hibench_suite();
+
+/// Lookup by name across all suites; nullopt if unknown.
+std::optional<jvm::JavaWorkload> find_java_workload(const std::string& name);
+
+/// §5.3 micro-benchmark: 40,000 iterations, +1 MiB / -512 KiB per iteration
+/// (working set grows to ~20 GiB while touching ~40 GiB).
+jvm::JavaWorkload alloc_microbench();
+
+}  // namespace arv::workloads

@@ -1,0 +1,45 @@
+#include "src/workloads/npb.h"
+
+namespace arv::workloads {
+namespace {
+
+using omp::OmpWorkload;
+using namespace arv::units;
+
+OmpWorkload make(const char* name, int regions, SimDuration region_work,
+                 double serial_frac, double alpha) {
+  OmpWorkload w;
+  w.name = name;
+  w.regions = regions;
+  w.region_work = region_work;
+  w.serial_frac = serial_frac;
+  w.alpha = alpha;
+  return w;
+}
+
+}  // namespace
+
+std::vector<OmpWorkload> npb_suite() {
+  return {
+      make("is", 30, 80 * msec, 0.020, 0.040),
+      make("ep", 20, 400 * msec, 0.002, 0.004),
+      make("cg", 60, 150 * msec, 0.030, 0.030),
+      make("mg", 40, 200 * msec, 0.020, 0.025),
+      make("ft", 30, 300 * msec, 0.015, 0.020),
+      make("ua", 80, 120 * msec, 0.040, 0.035),
+      make("bt", 100, 200 * msec, 0.010, 0.015),
+      make("sp", 100, 180 * msec, 0.015, 0.020),
+      make("lu", 100, 160 * msec, 0.020, 0.025),
+  };
+}
+
+std::optional<OmpWorkload> find_npb(const std::string& name) {
+  for (const auto& w : npb_suite()) {
+    if (w.name == name) {
+      return w;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace arv::workloads

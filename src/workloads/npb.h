@@ -1,0 +1,20 @@
+// NAS Parallel Benchmarks (NPB) as OpenMP workload models — Figure 10.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/omp/omp_runtime.h"
+
+namespace arv::workloads {
+
+/// The nine NPB kernels/pseudo-apps the paper runs: is, ep, cg, mg, ft, ua,
+/// bt, sp, lu. Region structure and serial fractions reflect the published
+/// profiles (ep is embarrassingly parallel; is is short and sync-heavy; the
+/// pseudo-applications bt/sp/lu are long with many moderate regions).
+std::vector<omp::OmpWorkload> npb_suite();
+
+std::optional<omp::OmpWorkload> find_npb(const std::string& name);
+
+}  // namespace arv::workloads

@@ -1,0 +1,156 @@
+#include "src/container/container.h"
+
+#include <gtest/gtest.h>
+
+namespace arv::container {
+namespace {
+
+using namespace arv::units;
+
+struct Fixture {
+  Fixture() : host(config()), runtime(host) {}
+
+  static HostConfig config() {
+    HostConfig c;
+    c.cpus = 8;
+    c.ram = 16 * GiB;
+    return c;
+  }
+
+  Host host;
+  ContainerRuntime runtime;
+};
+
+TEST(Container, RunCreatesCgroupWithLimits) {
+  Fixture f;
+  ContainerConfig config;
+  config.name = "db";
+  config.cpu_shares = 512;
+  config.cfs_quota_us = 200000;
+  config.cpuset = CpuSet::first_n(4);
+  config.mem_limit = 4 * GiB;
+  config.mem_soft_limit = 2 * GiB;
+  auto& c = f.runtime.run(config);
+  const auto& cg = f.host.cgroups().get(c.cgroup());
+  EXPECT_EQ(cg.name(), "db");
+  EXPECT_EQ(cg.cpu().shares, 512);
+  EXPECT_EQ(cg.cpu().cfs_quota_us, 200000);
+  EXPECT_EQ(cg.cpu().cpuset.count(), 4);
+  EXPECT_EQ(cg.mem().limit_in_bytes, 4 * GiB);
+  EXPECT_EQ(cg.mem().soft_limit_in_bytes, 2 * GiB);
+}
+
+TEST(Container, InitProcessAliveAndInNamespaces) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  auto& processes = f.host.processes();
+  EXPECT_TRUE(processes.alive(c.init_pid()));
+  EXPECT_TRUE(processes.in_container(c.init_pid()));
+  // The bootstrap init is dead; the workload owns the namespaces (§3.2).
+  const auto sys_ns =
+      processes.namespace_of(c.init_pid(), proc::Namespace::Kind::kSys);
+  ASSERT_NE(sys_ns, nullptr);
+  EXPECT_EQ(sys_ns->owner(), c.init_pid());
+  EXPECT_TRUE(processes.alive(sys_ns->owner()));
+}
+
+TEST(Container, ResourceViewRegisteredWithMonitor) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  ASSERT_NE(c.resource_view(), nullptr);
+  EXPECT_EQ(f.host.monitor().lookup(c.cgroup()), c.resource_view());
+}
+
+TEST(Container, ResourceViewOptional) {
+  Fixture f;
+  ContainerConfig config;
+  config.enable_resource_view = false;
+  auto& c = f.runtime.run(config);
+  EXPECT_EQ(c.resource_view(), nullptr);
+  EXPECT_EQ(f.host.monitor().registered_count(), 0u);
+  EXPECT_FALSE(f.host.processes().in_container(c.init_pid()));
+}
+
+TEST(Container, SpawnProcessInheritsContainer) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  const proc::Pid child = c.spawn_process("worker");
+  EXPECT_EQ(f.host.processes().get(child).cgroup, c.cgroup());
+  EXPECT_TRUE(f.host.processes().in_container(child));
+  // Virtual PID assigned inside the container's PID namespace.
+  const auto pid_ns = std::dynamic_pointer_cast<proc::PidNamespace>(
+      f.host.processes().namespace_of(child, proc::Namespace::Kind::kPid));
+  ASSERT_NE(pid_ns, nullptr);
+  EXPECT_GT(pid_ns->vpid_of(child), 0);
+}
+
+TEST(Container, UpdateKnobsPropagateToView) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  c.update_cfs_quota(200000);  // 2 CPUs
+  EXPECT_EQ(c.resource_view()->cpu_bounds().upper, 2);
+  c.update_mem_limit(1 * GiB);
+  EXPECT_EQ(c.resource_view()->mem_hard_limit(), static_cast<Bytes>(1) * GiB);
+  c.update_cpu_shares(256);
+  EXPECT_EQ(f.host.cgroups().get(c.cgroup()).cpu().shares, 256);
+  c.update_cpuset(CpuSet::first_n(1));
+  EXPECT_EQ(c.resource_view()->cpu_bounds().upper, 1);
+  c.update_mem_soft_limit(512 * MiB);
+  EXPECT_EQ(c.resource_view()->mem_soft_limit(), 512 * MiB);
+}
+
+TEST(Container, StopKillsTasksAndDestroysCgroup) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  const auto cg = c.cgroup();
+  const auto init = c.init_pid();
+  c.spawn_process("worker");
+  c.stop();
+  EXPECT_FALSE(c.running());
+  EXPECT_FALSE(f.host.cgroups().exists(cg));
+  EXPECT_FALSE(f.host.processes().alive(init));
+  EXPECT_EQ(f.host.monitor().registered_count(), 0u);
+}
+
+TEST(Container, StopReleasesChargedMemory) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  f.host.memory().charge(c.cgroup(), 1 * GiB);
+  const Bytes free_before_stop = f.host.memory().free_memory();
+  c.stop();
+  EXPECT_EQ(f.host.memory().free_memory(), free_before_stop + 1 * GiB);
+}
+
+TEST(Container, StopIsIdempotent) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  c.stop();
+  c.stop();  // no crash
+  EXPECT_FALSE(c.running());
+}
+
+TEST(ContainerRuntime, FindByName) {
+  Fixture f;
+  ContainerConfig config;
+  config.name = "x";
+  f.runtime.run(config);
+  EXPECT_NE(f.runtime.find("x"), nullptr);
+  EXPECT_EQ(f.runtime.find("nope"), nullptr);
+  EXPECT_EQ(f.runtime.count(), 1u);
+}
+
+TEST(ContainerRuntime, ManyContainersShareFractionUpdates) {
+  Fixture f;
+  auto& first = f.runtime.run({ .name = "c0" });
+  EXPECT_EQ(first.resource_view()->cpu_bounds().lower, 8);
+  for (int i = 1; i < 4; ++i) {
+    ContainerConfig config;
+    config.name = "c" + std::to_string(i);
+    f.runtime.run(config);
+  }
+  // 4 equal containers on 8 CPUs: guaranteed share = 2.
+  EXPECT_EQ(first.resource_view()->cpu_bounds().lower, 2);
+}
+
+}  // namespace
+}  // namespace arv::container

@@ -1,0 +1,115 @@
+#include "src/container/k8s.h"
+
+#include <gtest/gtest.h>
+
+namespace arv::container {
+namespace {
+
+using namespace arv::units;
+
+TEST(K8sMapping, SharesFromCpuRequest) {
+  K8sResources r;
+  r.request_millicpu = 500;  // "500m"
+  const auto config = pod_container("web", r);
+  EXPECT_EQ(config.cpu_shares, 512);  // 500 * 1024 / 1000
+  EXPECT_EQ(config.cfs_quota_us, kUnlimited);
+}
+
+TEST(K8sMapping, TinyRequestClampsToKernelMinimum) {
+  K8sResources r;
+  r.request_millicpu = 1;
+  EXPECT_EQ(pod_container("x", r).cpu_shares, 2);
+}
+
+TEST(K8sMapping, QuotaFromCpuLimit) {
+  K8sResources r;
+  r.limit_millicpu = 2500;  // "2.5" cores
+  const auto config = pod_container("x", r);
+  EXPECT_EQ(config.cfs_period_us, 100000);
+  EXPECT_EQ(config.cfs_quota_us, 250000);
+}
+
+TEST(K8sMapping, MemoryLimitsMapToHardAndSoft) {
+  K8sResources r;
+  r.request_memory = 1 * GiB;
+  r.limit_memory = 2 * GiB;
+  const auto config = pod_container("x", r);
+  EXPECT_EQ(config.mem_limit, 2 * GiB);
+  EXPECT_EQ(config.mem_soft_limit, 1 * GiB);
+}
+
+TEST(K8sMapping, UnsetFieldsLeaveDefaults) {
+  const auto config = pod_container("x", {});
+  EXPECT_EQ(config.cpu_shares, 1024);
+  EXPECT_EQ(config.cfs_quota_us, kUnlimited);
+  EXPECT_EQ(config.mem_limit, kUnlimited);
+}
+
+TEST(K8sMapping, ViewToggle) {
+  EXPECT_TRUE(pod_container("x", {}).enable_resource_view);
+  EXPECT_FALSE(pod_container("x", {}, false).enable_resource_view);
+}
+
+TEST(K8sMapping, EndToEndPodOnHost) {
+  Host host;
+  ContainerRuntime runtime(host);
+  K8sResources r;
+  r.request_millicpu = 2000;
+  r.limit_millicpu = 4000;
+  r.request_memory = 2 * GiB;
+  r.limit_memory = 4 * GiB;
+  auto& c = runtime.run(pod_container("pod-a", r));
+  // The view sees the quota (4 CPUs) as upper bound and the request as the
+  // soft baseline for effective memory.
+  EXPECT_EQ(c.resource_view()->cpu_bounds().upper, 4);
+  EXPECT_EQ(c.resource_view()->effective_memory(), static_cast<Bytes>(2) * GiB);
+}
+
+TEST(K8sQos, Classes) {
+  EXPECT_EQ(qos_class({}), QosClass::kBestEffort);
+  K8sResources guaranteed;
+  guaranteed.limit_millicpu = 1000;
+  guaranteed.request_millicpu = 1000;
+  guaranteed.limit_memory = 1 * GiB;
+  EXPECT_EQ(qos_class(guaranteed), QosClass::kGuaranteed);
+  K8sResources burstable;
+  burstable.request_millicpu = 500;
+  burstable.limit_millicpu = 1000;
+  burstable.limit_memory = 1 * GiB;
+  EXPECT_EQ(qos_class(burstable), QosClass::kBurstable);
+  K8sResources requests_only;
+  requests_only.request_millicpu = 500;
+  EXPECT_EQ(qos_class(requests_only), QosClass::kBurstable);
+}
+
+TEST(K8sQuantities, CpuParsing) {
+  EXPECT_EQ(parse_cpu_quantity("500m"), 500);
+  EXPECT_EQ(parse_cpu_quantity("2"), 2000);
+  EXPECT_EQ(parse_cpu_quantity("0.5"), 500);
+  EXPECT_EQ(parse_cpu_quantity("1.25"), 1250);
+  EXPECT_EQ(parse_cpu_quantity(""), -1);
+  EXPECT_EQ(parse_cpu_quantity("abc"), -1);
+  EXPECT_EQ(parse_cpu_quantity("-1"), -1);
+}
+
+TEST(K8sQuantities, MemoryParsing) {
+  EXPECT_EQ(parse_memory_quantity("512Mi"), 512 * MiB);
+  EXPECT_EQ(parse_memory_quantity("4Gi"), 4 * GiB);
+  EXPECT_EQ(parse_memory_quantity("1Ki"), 1024);
+  EXPECT_EQ(parse_memory_quantity("1G"), 1000000000);
+  EXPECT_EQ(parse_memory_quantity("128"), 128);
+  EXPECT_EQ(parse_memory_quantity("1.5Gi"), 1536 * MiB);
+  EXPECT_EQ(parse_memory_quantity("Mi"), -1);
+  EXPECT_EQ(parse_memory_quantity("5Xi"), -1);
+  EXPECT_EQ(parse_memory_quantity(""), -1);
+}
+
+TEST(K8sMappingDeath, RequestAboveLimitRejected) {
+  K8sResources r;
+  r.request_millicpu = 2000;
+  r.limit_millicpu = 1000;
+  EXPECT_DEATH(pod_container("x", r), "request exceeds limit");
+}
+
+}  // namespace
+}  // namespace arv::container

@@ -1,0 +1,133 @@
+#include "src/harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/java_suites.h"
+#include "src/workloads/npb.h"
+
+namespace arv::harness {
+namespace {
+
+using namespace arv::units;
+
+jvm::JavaWorkload quick_java() {
+  jvm::JavaWorkload w;
+  w.name = "quick";
+  w.total_work = 1 * sec;
+  w.mutator_threads = 4;
+  w.alloc_per_cpu_sec = 128 * MiB;
+  w.live_set = 32 * MiB;
+  return w;
+}
+
+TEST(JvmScenario, RunsSingleInstanceToCompletion) {
+  JvmScenario scenario;
+  JvmInstanceConfig config;
+  config.container.name = "solo";
+  config.flags.kind = jvm::JvmKind::kAdaptive;
+  config.workload = quick_java();
+  scenario.add(config);
+  scenario.run();
+  const auto results = scenario.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].container, "solo");
+  EXPECT_EQ(results[0].benchmark, "quick");
+  EXPECT_TRUE(results[0].stats.completed);
+}
+
+TEST(JvmScenario, RunsColocatedInstances) {
+  JvmScenario scenario;
+  for (int i = 0; i < 3; ++i) {
+    JvmInstanceConfig config;
+    config.container.name = "c" + std::to_string(i);
+    config.flags.kind = jvm::JvmKind::kAdaptive;
+    config.workload = quick_java();
+    scenario.add(config);
+  }
+  scenario.run();
+  for (const auto& result : scenario.results()) {
+    EXPECT_TRUE(result.stats.completed) << result.container;
+  }
+  // Colocation slows everyone down relative to 20 idle cores, but all finish.
+  EXPECT_EQ(scenario.size(), 3u);
+}
+
+TEST(JvmScenario, CpuHogCompetesForCpu) {
+  const auto run_with_hog = [](bool hog) {
+    JvmScenario scenario;
+    JvmInstanceConfig config;
+    config.container.name = "jvm";
+    config.flags.kind = jvm::JvmKind::kAdaptive;
+    config.workload = quick_java();
+    // Demand more than the fair share so contention actually bites.
+    config.workload.mutator_threads = 20;
+    const auto idx = scenario.add(config);
+    if (hog) {
+      scenario.add_cpu_hog({}, 20, 3600 * sec);
+    }
+    scenario.run();
+    return scenario.jvm(idx).stats().exec_time();
+  };
+  EXPECT_GT(run_with_hog(true), run_with_hog(false));
+}
+
+TEST(JvmScenario, MemHogCreatesPressure) {
+  JvmScenario scenario;
+  JvmInstanceConfig config;
+  config.container.name = "jvm";
+  config.flags.kind = jvm::JvmKind::kAdaptive;
+  config.workload = quick_java();
+  scenario.add(config);
+  container::ContainerConfig hog_config;
+  hog_config.name = "pressure";
+  scenario.add_mem_hog(hog_config, 100 * GiB, 50 * GiB);
+  scenario.run();
+  ASSERT_NE(scenario.runtime().find("pressure"), nullptr);
+  EXPECT_GT(scenario.host().memory().usage(
+                scenario.runtime().find("pressure")->cgroup()),
+            0);
+}
+
+TEST(JvmScenarioDeath, DeadlineAborts) {
+  JvmScenario scenario;
+  JvmInstanceConfig config;
+  config.workload = quick_java();
+  config.workload.total_work = 3600 * sec;
+  scenario.add(config);
+  EXPECT_DEATH(scenario.run(1 * sec), "deadline");
+}
+
+TEST(OmpScenario, RunsToCompletion) {
+  OmpScenario scenario;
+  OmpInstanceConfig config;
+  config.container.name = "npb";
+  config.strategy = omp::TeamStrategy::kAdaptive;
+  config.workload.regions = 4;
+  config.workload.region_work = 50 * msec;
+  scenario.add(config);
+  scenario.run();
+  const auto results = scenario.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].stats.exec_time(), 0);
+  EXPECT_EQ(results[0].stats.regions_done, 4);
+}
+
+TEST(HeapTimeline, SamplesAtInterval) {
+  JvmScenario scenario;
+  JvmInstanceConfig config;
+  config.flags.kind = jvm::JvmKind::kAdaptive;
+  config.workload = quick_java();
+  const auto idx = scenario.add(config);
+  HeapTimeline timeline(scenario.host(), scenario.jvm(idx), 100 * msec);
+  scenario.host().run_for(1 * sec);
+  // ~10 samples over one second.
+  EXPECT_GE(timeline.samples().size(), 9u);
+  EXPECT_LE(timeline.samples().size(), 11u);
+  for (const auto& sample : timeline.samples()) {
+    EXPECT_GE(sample.committed, sample.used);
+    EXPECT_GE(sample.virtual_max, sample.committed);
+  }
+}
+
+}  // namespace
+}  // namespace arv::harness

@@ -1,0 +1,186 @@
+// Randomized (fixed-seed) stress tests: throw thousands of random but valid
+// operations at individual components and check their invariants hold.
+#include <gtest/gtest.h>
+
+#include "src/cgroup/cgroup.h"
+#include "src/jvm/heap.h"
+#include "src/mem/memory_manager.h"
+#include "src/util/cpuset.h"
+#include "src/util/rng.h"
+#include "src/vfs/pseudo_fs.h"
+
+namespace arv {
+namespace {
+
+using namespace arv::units;
+
+TEST(Fuzz, CpuSetParseFormatRoundTrip) {
+  Rng rng(0xC0FFEE);
+  for (int round = 0; round < 500; ++round) {
+    CpuSet original;
+    const int bits = static_cast<int>(rng.uniform_int(0, 32));
+    for (int i = 0; i < bits; ++i) {
+      original.set(static_cast<int>(rng.uniform_int(0, CpuSet::kMaxCpus - 1)));
+    }
+    const auto reparsed = CpuSet::parse(original.to_string());
+    ASSERT_TRUE(reparsed.has_value()) << original.to_string();
+    ASSERT_EQ(*reparsed, original) << original.to_string();
+  }
+}
+
+TEST(Fuzz, CpuSetParseNeverCrashesOnGarbage) {
+  Rng rng(0xBADF00D);
+  const char alphabet[] = "0123456789-, abzXY;";
+  for (int round = 0; round < 2000; ++round) {
+    std::string text;
+    const int len = static_cast<int>(rng.uniform_int(0, 12));
+    for (int i = 0; i < len; ++i) {
+      text += alphabet[rng.uniform_int(0, static_cast<int>(sizeof(alphabet)) - 2)];
+    }
+    const auto parsed = CpuSet::parse(text);  // must not crash or hang
+    if (parsed) {
+      // Anything parseable must round-trip to a canonical form that parses
+      // to the same mask.
+      const auto again = CpuSet::parse(parsed->to_string());
+      ASSERT_TRUE(again.has_value());
+      ASSERT_EQ(*again, *parsed);
+    }
+  }
+}
+
+TEST(Fuzz, MemoryManagerAccountingBalances) {
+  Rng rng(0x5EED);
+  cgroup::Tree tree(4);
+  mem::Config config;
+  config.total_ram = 4 * GiB;
+  config.swap_size = 8 * GiB;
+  mem::MemoryManager mm(tree, config);
+
+  constexpr int kCgroups = 4;
+  std::vector<cgroup::CgroupId> ids;
+  std::vector<Bytes> charged(kCgroups, 0);
+  for (int i = 0; i < kCgroups; ++i) {
+    const auto id = tree.create("c" + std::to_string(i));
+    if (rng.chance(0.5)) {
+      tree.set_mem_limit(id, rng.uniform_int(64, 1024) * MiB);
+      tree.set_mem_soft_limit(id, 32 * MiB);
+    }
+    ids.push_back(id);
+  }
+
+  for (int op = 0; op < 5000; ++op) {
+    const int k = static_cast<int>(rng.uniform_int(0, kCgroups - 1));
+    const auto id = ids[static_cast<std::size_t>(k)];
+    if (mm.oom_killed(id)) {
+      continue;
+    }
+    const double dice = rng.uniform();
+    if (dice < 0.45) {
+      const Bytes bytes = rng.uniform_int(1, 32) * MiB;
+      if (mm.charge(id, bytes) != mem::ChargeResult::kOomKilled) {
+        charged[static_cast<std::size_t>(k)] += page_align_up(bytes);
+      }
+    } else if (dice < 0.75) {
+      const Bytes committed = mm.committed(id);
+      if (committed > 0) {
+        const Bytes bytes =
+            std::min(committed, rng.uniform_int(1, 64) * MiB);
+        mm.uncharge(id, bytes);
+        charged[static_cast<std::size_t>(k)] -= page_align_up(bytes);
+      }
+    } else if (dice < 0.9) {
+      mm.touch(id, rng.uniform_int(0, 128) * MiB);
+    } else {
+      mm.tick(op, 1000);
+    }
+
+    // Invariants after every operation.
+    ASSERT_GE(mm.free_memory(), 0);
+    for (int j = 0; j < kCgroups; ++j) {
+      const auto cj = ids[static_cast<std::size_t>(j)];
+      if (mm.oom_killed(cj)) {
+        continue;
+      }
+      // resident + swapped == everything successfully charged.
+      ASSERT_EQ(mm.committed(cj), charged[static_cast<std::size_t>(j)]);
+      // Residency never exceeds the hard limit.
+      const Bytes hard = tree.get(cj).mem().limit_in_bytes;
+      ASSERT_LE(mm.usage(cj), hard);
+    }
+  }
+}
+
+TEST(Fuzz, HeapOperationsPreserveGeometry) {
+  Rng rng(0xFEED);
+  cgroup::Tree tree(4);
+  mem::Config config;
+  config.total_ram = 64 * GiB;
+  mem::MemoryManager mm(tree, config);
+  const auto cg = tree.create("jvm");
+  jvm::Heap heap(mm, cg, 8 * GiB, 256 * MiB);
+
+  for (int op = 0; op < 5000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.4) {
+      heap.allocate(rng.uniform_int(0, 8) * MiB);
+    } else if (dice < 0.55) {
+      const Bytes survivors = rng.uniform_int(0, 4) * MiB;
+      const Bytes promoted = rng.uniform_int(0, 4) * MiB;
+      heap.finish_minor(survivors, promoted);
+    } else if (dice < 0.65) {
+      heap.finish_major(std::min<Bytes>(heap.old_used(), 64 * MiB),
+                        heap.survivor_used() / 2);
+    } else if (dice < 0.8) {
+      heap.resize_young(rng.uniform_int(1, 3000) * MiB);
+    } else if (dice < 0.95) {
+      heap.resize_old(rng.uniform_int(1, 6000) * MiB);
+    } else {
+      heap.set_virtual_max(rng.uniform_int(256, 8192) * MiB);
+    }
+
+    // Geometry invariants.
+    ASSERT_LE(heap.committed(), heap.reserved());
+    ASSERT_LE(heap.virtual_max(), heap.reserved());
+    ASSERT_GE(heap.young_committed(), heap.eden_used() + heap.survivor_used());
+    ASSERT_LE(heap.eden_used(), heap.eden_capacity());
+    ASSERT_GE(heap.old_committed(), 0);
+    // The cgroup charge mirrors committed space exactly.
+    ASSERT_EQ(mm.usage(cg) + mm.swapped(cg), heap.committed());
+  }
+}
+
+TEST(Fuzz, PseudoFsRandomOps) {
+  Rng rng(0xF5);
+  vfs::PseudoFs fs;
+  std::vector<std::string> registered;
+  for (int op = 0; op < 3000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.4 || registered.empty()) {
+      std::string path = "/d" + std::to_string(rng.uniform_int(0, 9)) + "/f" +
+                         std::to_string(rng.uniform_int(0, 99));
+      fs.register_file(path, [path] { return path; });
+      registered.push_back(path);
+    } else if (dice < 0.7) {
+      const auto& path = registered[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(registered.size()) - 1))];
+      const auto content = fs.read(path);
+      if (fs.exists(path)) {
+        ASSERT_TRUE(content.has_value());
+        ASSERT_EQ(*content, path);  // provider returns its own path
+      }
+    } else if (dice < 0.85) {
+      const auto& path = registered[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(registered.size()) - 1))];
+      fs.remove(path);
+    } else {
+      fs.remove_subtree("/d" + std::to_string(rng.uniform_int(0, 9)) + "/");
+    }
+    // list() must agree with exists() for every listed path.
+    for (const auto& path : fs.list("/")) {
+      ASSERT_TRUE(fs.exists(path));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arv

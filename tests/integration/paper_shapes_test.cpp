@@ -1,0 +1,204 @@
+// Scaled-down versions of the paper's headline results, run as tests so a
+// regression in any layer that would invalidate EXPERIMENTS.md fails CI.
+#include <gtest/gtest.h>
+
+#include "src/harness/scenario.h"
+#include "src/workloads/java_suites.h"
+#include "src/workloads/npb.h"
+
+namespace arv {
+namespace {
+
+using namespace arv::units;
+using harness::JvmInstanceConfig;
+using harness::JvmScenario;
+using harness::OmpInstanceConfig;
+using harness::OmpScenario;
+
+jvm::JavaWorkload shrunk(const jvm::JavaWorkload& w, SimDuration work) {
+  jvm::JavaWorkload copy = w;
+  copy.total_work = work;
+  return copy;
+}
+
+/// Mean exec time over all JVMs in a scenario of `n` identical colocated
+/// containers running `w` with `flags`.
+double colocated_mean_exec(const jvm::JavaWorkload& w, jvm::JvmFlags flags,
+                           int n, bool resource_view) {
+  JvmScenario scenario;
+  for (int i = 0; i < n; ++i) {
+    JvmInstanceConfig config;
+    config.container.name = "c" + std::to_string(i);
+    config.container.enable_resource_view = resource_view;
+    config.flags = flags;
+    config.flags.xmx = 3 * min_heap_of(w);  // §5.1 methodology
+    config.workload = w;
+    scenario.add(config);
+  }
+  scenario.run();
+  double total = 0;
+  for (const auto& result : scenario.results()) {
+    EXPECT_TRUE(result.stats.completed) << result.container;
+    total += static_cast<double>(result.stats.exec_time());
+  }
+  return total / n;
+}
+
+TEST(PaperShapes, Figure6AdaptiveBeatsVanillaWhenColocated) {
+  // 5 identical containers on 20 cores: the adaptive JVM (E_CPU-sized GC)
+  // must beat the vanilla static JVM (15 GC threads each).
+  const auto w = shrunk(*workloads::find_java_workload("h2"), 4 * sec);
+  const double vanilla = colocated_mean_exec(
+      w, {.kind = jvm::JvmKind::kVanilla8, .dynamic_gc_threads = false}, 5,
+      /*resource_view=*/false);
+  const double adaptive = colocated_mean_exec(
+      w, {.kind = jvm::JvmKind::kAdaptive}, 5, /*resource_view=*/true);
+  EXPECT_LT(adaptive, vanilla);
+}
+
+TEST(PaperShapes, Figure6DynamicSitsBetween) {
+  const auto w = shrunk(*workloads::find_java_workload("lusearch"), 3 * sec);
+  const double vanilla = colocated_mean_exec(
+      w, {.kind = jvm::JvmKind::kVanilla8, .dynamic_gc_threads = false}, 5, false);
+  const double dynamic = colocated_mean_exec(
+      w, {.kind = jvm::JvmKind::kVanilla8, .dynamic_gc_threads = true}, 5, false);
+  const double adaptive = colocated_mean_exec(
+      w, {.kind = jvm::JvmKind::kAdaptive}, 5, true);
+  EXPECT_LE(dynamic, vanilla * 1.02);  // dynamic helps (or at least not hurts)
+  EXPECT_LT(adaptive, dynamic * 1.02);
+}
+
+TEST(PaperShapes, Figure8AdaptiveExploitsFreedCpus) {
+  // One DaCapo container + 9 staggered sysbench containers, all with equal
+  // shares. JVM 10 pins GC threads at 2 from static shares; adaptive tracks
+  // the CPUs freed as sysbench programs finish and must win on GC time.
+  const auto w = shrunk(*workloads::find_java_workload("sunflow"), 6 * sec);
+  const auto run_one = [&](jvm::JvmFlags flags, bool view) {
+    JvmScenario scenario;
+    // The sysbench co-runners exist before java starts: JDK 10's launch-time
+    // share fraction must see all ten containers (2 CPUs' worth each).
+    for (int i = 0; i < 9; ++i) {
+      // Staggered completion: budgets from 1 to 9 CPU-seconds.
+      scenario.add_cpu_hog({}, 4, (i + 1) * sec);
+    }
+    JvmInstanceConfig config;
+    config.container.name = "dacapo";
+    config.container.enable_resource_view = view;
+    config.flags = flags;
+    config.flags.xmx = 3 * min_heap_of(w);
+    config.workload = w;
+    const auto idx = scenario.add(config);
+    scenario.run();
+    return scenario.jvm(idx).stats();
+  };
+  const auto jvm10 = run_one({.kind = jvm::JvmKind::kJdk10}, false);
+  const auto adaptive = run_one({.kind = jvm::JvmKind::kAdaptive}, true);
+  EXPECT_LT(adaptive.gc_time(), jvm10.gc_time());
+}
+
+TEST(PaperShapes, Figure10DynamicOpenMpIsWorst) {
+  // Figure 10(b): one container with a 4-core quota on a 20-core host.
+  // libgomp's dynamic heuristic reads *host* load and CPUs => worst.
+  const auto w = *workloads::find_npb("cg");
+  const auto run_one = [&](omp::TeamStrategy strategy, bool view) {
+    OmpScenario scenario;
+    OmpInstanceConfig config;
+    config.container.name = "npb";
+    config.container.cfs_quota_us = 400000;
+    config.container.enable_resource_view = view;
+    config.strategy = strategy;
+    config.workload = w;
+    const auto idx = scenario.add(config);
+    scenario.run();
+    return scenario.process(idx).stats().exec_time();
+  };
+  const auto time_static = run_one(omp::TeamStrategy::kStatic, false);
+  const auto time_adaptive = run_one(omp::TeamStrategy::kAdaptive, true);
+  EXPECT_LT(time_adaptive, time_static);
+}
+
+TEST(PaperShapes, Figure11ElasticHeapAvoidsJdk9StyleOom) {
+  // h2 in a 1 GiB container: JDK 9 sizes the heap to 256 MiB and dies with
+  // OOM; the elastic heap respects the real limit and completes. Enough
+  // mutator work that h2's promotion stream materializes its live set.
+  const auto w = shrunk(*workloads::find_java_workload("h2"), 8 * sec);
+  JvmScenario scenario;
+  JvmInstanceConfig jdk9;
+  jdk9.container.name = "jdk9";
+  jdk9.container.mem_limit = 1 * GiB;
+  jdk9.container.enable_resource_view = false;
+  jdk9.flags.kind = jvm::JvmKind::kJdk9;
+  jdk9.workload = w;
+  const auto i9 = scenario.add(jdk9);
+  JvmInstanceConfig elastic;
+  elastic.container.name = "elastic";
+  elastic.container.mem_limit = 1 * GiB;
+  elastic.container.mem_soft_limit = 800 * MiB;
+  elastic.flags.kind = jvm::JvmKind::kAdaptive;
+  elastic.flags.elastic_heap = true;
+  elastic.workload = w;
+  const auto ie = scenario.add(elastic);
+  scenario.run();
+  EXPECT_TRUE(scenario.jvm(i9).stats().oom_error);
+  EXPECT_TRUE(scenario.jvm(ie).stats().completed);
+}
+
+TEST(PaperShapes, Figure11ElasticHeapAvoidsSwapCollapse) {
+  // xalan (allocation-heavy) in a 1 GiB container: vanilla JDK 8 balloons
+  // the heap from host RAM and collapses into swap; elastic stays inside
+  // the limit and finishes an order of magnitude faster.
+  const auto w = shrunk(*workloads::find_java_workload("xalan"), 2 * sec);
+  const auto run_one = [&](jvm::JvmFlags flags, bool view,
+                           Bytes soft) {
+    JvmScenario scenario;
+    JvmInstanceConfig config;
+    config.container.name = "x";
+    config.container.mem_limit = 1 * GiB;
+    if (soft > 0) {
+      config.container.mem_soft_limit = soft;
+    }
+    config.container.enable_resource_view = view;
+    config.flags = flags;
+    config.workload = w;
+    const auto idx = scenario.add(config);
+    scenario.run(7200 * sec);
+    return scenario.jvm(idx).stats();
+  };
+  const auto vanilla =
+      run_one({.kind = jvm::JvmKind::kVanilla8}, false, 0);
+  const auto elastic = run_one(
+      {.kind = jvm::JvmKind::kAdaptive, .elastic_heap = true}, true, 800 * MiB);
+  EXPECT_TRUE(elastic.completed);
+  ASSERT_GE(vanilla.exec_time(), 0);
+  EXPECT_GT(vanilla.stall_time, 0);  // the vanilla run swapped
+  EXPECT_LT(elastic.exec_time() * 3, vanilla.exec_time());
+}
+
+TEST(PaperShapes, Figure12FiveElasticContainersSurvive) {
+  // §5.3: five leak-style micro-benchmarks, 30 GiB hard / 15 GiB soft each,
+  // on a 128 GiB host. Elastic JVMs converge below their hard limits and
+  // complete; the aggregate never OOM-kills anyone.
+  auto w = workloads::alloc_microbench();
+  w.total_work = 20 * sec;            // scaled down for CI
+  w.alloc_per_cpu_sec = 1 * GiB;      // ~20 GiB touched per container
+  JvmScenario scenario;
+  for (int i = 0; i < 5; ++i) {
+    JvmInstanceConfig config;
+    config.container.name = "c" + std::to_string(i);
+    config.container.mem_limit = 30 * GiB;
+    config.container.mem_soft_limit = 15 * GiB;
+    config.flags.kind = jvm::JvmKind::kAdaptive;
+    config.flags.elastic_heap = true;
+    config.workload = w;
+    scenario.add(config);
+  }
+  scenario.run(7200 * sec);
+  for (const auto& result : scenario.results()) {
+    EXPECT_TRUE(result.stats.completed) << result.container;
+    EXPECT_FALSE(result.stats.killed) << result.container;
+  }
+  EXPECT_EQ(scenario.host().memory().oom_kills(), 0u);
+}
+
+}  // namespace
+}  // namespace arv

@@ -1,0 +1,165 @@
+// Full-stack integration tests: containers + scheduler + memory + monitor +
+// virtual sysfs behaving as §3 describes, with real (simulated) load.
+#include <gtest/gtest.h>
+
+#include "src/container/container.h"
+#include "src/workloads/hogs.h"
+
+namespace arv {
+namespace {
+
+using namespace arv::units;
+
+container::HostConfig paper_host() {
+  container::HostConfig config;
+  config.cpus = 20;          // dual 10-core Xeon
+  config.ram = 128 * GiB;    // §5.1
+  return config;
+}
+
+TEST(ResourceViewIntegration, FiveEqualContainersConvergeToFourCpus) {
+  // The §2.2 motivating setup: 5 containers with equal shares on 20 cores,
+  // all saturating. Effective CPU must converge to 20/5 = 4 each.
+  container::Host host(paper_host());
+  container::ContainerRuntime runtime(host);
+  std::vector<container::Container*> containers;
+  std::vector<std::unique_ptr<workloads::CpuHog>> hogs;
+  for (int i = 0; i < 5; ++i) {
+    container::ContainerConfig config;
+    config.name = "c" + std::to_string(i);
+    auto& c = runtime.run(config);
+    containers.push_back(&c);
+    hogs.push_back(std::make_unique<workloads::CpuHog>(host, c, 20, 36000 * sec));
+  }
+  // Views start wherever creation-time shares put them and step down by one
+  // per update period (~300 ms at 100 runnable tasks); give them time.
+  host.run_for(10 * sec);
+  for (const auto* c : containers) {
+    EXPECT_EQ(c->resource_view()->effective_cpus(), 4) << c->name();
+  }
+}
+
+TEST(ResourceViewIntegration, EffectiveCpuExpandsWhenPeersGoIdle) {
+  // Figure 8's mechanism: as co-runners finish, the remaining container's
+  // effective CPU climbs above its static share.
+  container::Host host(paper_host());
+  container::ContainerRuntime runtime(host);
+  auto& main_c = runtime.run({.name = "main"});
+  // 16 threads, not 20: a fully-saturating workload would itself consume all
+  // slack, and Algorithm 1 only grows E while the host has idle capacity.
+  workloads::CpuHog main_load(host, main_c, 16, 3600 * sec);
+  std::vector<std::unique_ptr<workloads::CpuHog>> peers;
+  std::vector<container::Container*> peer_containers;
+  for (int i = 0; i < 9; ++i) {
+    container::ContainerConfig config;
+    config.name = "peer" + std::to_string(i);
+    auto& c = runtime.run(config);
+    peer_containers.push_back(&c);
+    // Peers burn ~3 s of wall time (2 CPUs' worth of fair share each).
+    peers.push_back(std::make_unique<workloads::CpuHog>(host, c, 2, 6 * sec));
+  }
+  host.run_for(2500 * msec);
+  const int during = main_c.resource_view()->effective_cpus();
+  EXPECT_LE(during, 3);  // ten-way share of 20 cores
+  host.run_for(20 * sec);  // peers done; slack appears
+  const int after = main_c.resource_view()->effective_cpus();
+  EXPECT_GE(after, 15);  // expands toward the whole host
+}
+
+TEST(ResourceViewIntegration, QuotaBoundsEffectiveCpuDespiteSlack) {
+  container::Host host(paper_host());
+  container::ContainerRuntime runtime(host);
+  container::ContainerConfig config;
+  config.name = "capped";
+  config.cfs_quota_us = 400000;  // 4 CPUs
+  auto& c = runtime.run(config);
+  workloads::CpuHog load(host, c, 20, 3600 * sec);
+  host.run_for(3 * sec);
+  EXPECT_EQ(c.resource_view()->effective_cpus(), 4);
+}
+
+TEST(ResourceViewIntegration, SysconfSeesLiveUpdates) {
+  container::Host host(paper_host());
+  container::ContainerRuntime runtime(host);
+  auto& a = runtime.run({.name = "a"});
+  workloads::CpuHog load_a(host, a, 20, 3600 * sec);
+  host.run_for(1 * sec);
+  const long solo = host.sysfs().sysconf(a.init_pid(), vfs::Sysconf::kNProcessorsOnln);
+  EXPECT_EQ(solo, 20);
+  // A second saturating container appears: the view must shrink toward 10.
+  auto& b = runtime.run({.name = "b"});
+  workloads::CpuHog load_b(host, b, 20, 3600 * sec);
+  host.run_for(3 * sec);
+  const long shared = host.sysfs().sysconf(a.init_pid(), vfs::Sysconf::kNProcessorsOnln);
+  EXPECT_EQ(shared, 10);
+}
+
+TEST(ResourceViewIntegration, EffectiveMemoryGrowsWithUsage) {
+  container::Host host(paper_host());
+  container::ContainerRuntime runtime(host);
+  container::ContainerConfig config;
+  config.name = "db";
+  config.mem_limit = 8 * GiB;
+  config.mem_soft_limit = 2 * GiB;
+  auto& c = runtime.run(config);
+  EXPECT_EQ(c.resource_view()->effective_memory(), 2 * GiB);
+  // Fill memory to > 90% of effective; plenty of host RAM free.
+  workloads::MemHog hog(host, c, 7 * GiB, 4 * GiB);
+  host.run_for(20 * sec);
+  EXPECT_GT(c.resource_view()->effective_memory(), 6 * GiB);
+  EXPECT_LE(c.resource_view()->effective_memory(), 8 * GiB);
+}
+
+TEST(ResourceViewIntegration, EffectiveMemoryResetsUnderHostPressure) {
+  container::HostConfig host_config = paper_host();
+  host_config.ram = 8 * GiB;  // small host so pressure is reachable
+  container::Host host(host_config);
+  container::ContainerRuntime runtime(host);
+  container::ContainerConfig config;
+  config.name = "victim";
+  config.mem_limit = 6 * GiB;
+  config.mem_soft_limit = 1 * GiB;
+  auto& c = runtime.run(config);
+  workloads::MemHog own_load(host, c, 5 * GiB, 4 * GiB);
+  host.run_for(10 * sec);
+  const Bytes before_pressure = c.resource_view()->effective_memory();
+  ASSERT_GT(before_pressure, 3 * GiB);
+  // A second container floods RAM so demand permanently exceeds physical
+  // memory: kswapd keeps reclaiming and the view collapses to the soft
+  // limit (plus at most one 10%-of-headroom growth step between resets).
+  auto& flood_c = runtime.run({.name = "flood"});
+  workloads::MemHog flood(host, flood_c, 7 * GiB, 8 * GiB);
+  host.run_for(10 * sec);
+  EXPECT_LT(c.resource_view()->effective_memory(), 2 * GiB);
+  EXPECT_LT(c.resource_view()->effective_memory(), before_pressure);
+  EXPECT_GE(host.memory().kswapd_wakeups(), 1u);
+}
+
+TEST(ResourceViewIntegration, ContainerChurnKeepsViewsConsistent) {
+  container::Host host(paper_host());
+  container::ContainerRuntime runtime(host);
+  auto& stable = runtime.run({.name = "stable"});
+  for (int round = 0; round < 5; ++round) {
+    container::ContainerConfig config;
+    config.name = "ephemeral";
+    auto& c = runtime.run(config);
+    host.run_for(100 * msec);
+    EXPECT_EQ(stable.resource_view()->cpu_bounds().lower, 10);
+    c.stop();
+    host.run_for(100 * msec);
+    EXPECT_EQ(stable.resource_view()->cpu_bounds().lower, 20);
+  }
+}
+
+TEST(ResourceViewIntegration, UpdateTimerFollowsLoad) {
+  // §3.2: the update interval stretches as runnable tasks grow.
+  container::Host host(paper_host());
+  container::ContainerRuntime runtime(host);
+  auto& c = runtime.run({.name = "busy"});
+  workloads::CpuHog hog(host, c, 40, 3600 * sec);  // 40 runnable tasks
+  host.run_for(100 * msec);
+  EXPECT_EQ(host.scheduler().scheduling_period(), 120 * msec);  // 3ms * 40
+}
+
+}  // namespace
+}  // namespace arv

@@ -1,0 +1,190 @@
+// Focused tests for the §4.2 elastic heap: the three shrink scenarios, the
+// 10-second poll cadence, and interaction with effective memory.
+#include <gtest/gtest.h>
+
+#include "src/container/container.h"
+#include "src/jvm/jvm.h"
+#include "src/workloads/java_suites.h"
+
+namespace arv::jvm {
+namespace {
+
+using namespace arv::units;
+
+struct Fixture {
+  Fixture() : host(host_config()), runtime(host) {}
+
+  static container::HostConfig host_config() {
+    container::HostConfig config;
+    config.cpus = 8;
+    config.ram = 64 * GiB;
+    return config;
+  }
+
+  container::Host host;
+  container::ContainerRuntime runtime;
+};
+
+JavaWorkload steady_workload() {
+  JavaWorkload w;
+  w.name = "steady";
+  w.total_work = 20 * sec;
+  w.mutator_threads = 4;
+  w.alloc_per_cpu_sec = 256 * MiB;
+  w.live_set = 256 * MiB;
+  w.survival_ratio = 0.2;
+  return w;
+}
+
+TEST(ElasticHeap, VirtualMaxNeverExceedsEffectiveMemoryForLong) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.mem_limit = 4 * GiB;
+  config.mem_soft_limit = 1 * GiB;
+  auto& c = f.runtime.run(config);
+  Jvm jvm(f.host, c,
+          {.kind = JvmKind::kAdaptive, .elastic_heap = true,
+           .heap_poll_interval = 100 * msec},
+          steady_workload());
+  bool violated = false;
+  f.host.engine().run_until(
+      [&] {
+        // Between polls VirtualMax may lag effective memory by one interval;
+        // it must never exceed it by more than the last-read value.
+        violated = violated ||
+                   jvm.heap().virtual_max() > static_cast<Bytes>(4) * GiB;
+        return jvm.finished();
+      },
+      3600 * sec);
+  EXPECT_FALSE(violated);
+  EXPECT_TRUE(jvm.stats().completed);
+}
+
+TEST(ElasticHeap, ShrinkCase1OnlyMovesLimits) {
+  // Effective memory drops but stays above committed: nothing visible
+  // happens to committed space.
+  Fixture f;
+  container::ContainerConfig config;
+  config.mem_limit = 8 * GiB;
+  config.mem_soft_limit = 6 * GiB;
+  auto& c = f.runtime.run(config);
+  auto w = steady_workload();
+  Jvm jvm(f.host, c,
+          {.kind = JvmKind::kAdaptive, .elastic_heap = true,
+           .heap_poll_interval = 100 * msec},
+          w);
+  f.host.run_for(2 * sec);
+  const Bytes committed = jvm.heap().committed();
+  ASSERT_LT(committed, static_cast<Bytes>(2) * GiB);
+  // Lower the soft limit so effective memory resets below 6 GiB but above
+  // the committed heap: only the limits move.
+  c.update_mem_soft_limit(3 * GiB);
+  f.host.run_for(1 * sec);
+  EXPECT_GE(jvm.heap().virtual_max(), static_cast<Bytes>(3) * GiB);
+  EXPECT_EQ(jvm.state() == JvmState::kMutating ||
+                jvm.state() == JvmState::kInGc ||
+                jvm.state() == JvmState::kCompleted,
+            true);
+}
+
+TEST(ElasticHeap, ShrinkCase2ReleasesCommitted) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.mem_limit = 8 * GiB;
+  config.mem_soft_limit = 8 * GiB;  // start with a big view
+  auto& c = f.runtime.run(config);
+  // Quiet workload: little allocation and almost no survivors, so the used
+  // floors cannot keep the committed space up after the shrink.
+  auto w = steady_workload();
+  w.total_work = 60 * sec;
+  w.alloc_per_cpu_sec = 64 * MiB;
+  w.survival_ratio = 0.02;
+  Jvm jvm(f.host, c,
+          {.kind = JvmKind::kAdaptive, .elastic_heap = true, .xms = 4 * GiB,
+           .heap_poll_interval = 100 * msec},
+          w);
+  f.host.run_for(1 * sec);
+  const Bytes committed_before = jvm.heap().committed();
+  ASSERT_GT(committed_before, static_cast<Bytes>(3) * GiB);
+  // Administrator slashes both limits; used stays far below 1 GiB, so the
+  // next poll shrinks committed space without requiring a collection.
+  c.update_mem_soft_limit(1 * GiB);
+  c.update_mem_limit(1 * GiB);
+  f.host.run_for(1 * sec);
+  EXPECT_LE(jvm.heap().committed(), static_cast<Bytes>(1) * GiB + 2 * MiB);
+  EXPECT_LE(f.host.memory().usage(c.cgroup()),
+            static_cast<Bytes>(1) * GiB + 2 * MiB);
+}
+
+TEST(ElasticHeap, ShrinkCase3TriggersCollections) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.mem_limit = 8 * GiB;
+  config.mem_soft_limit = 8 * GiB;
+  auto& c = f.runtime.run(config);
+  // Garbage-heavy workload: old gen accumulates dead promotions that a
+  // forced major collection can reclaim.
+  auto w = steady_workload();
+  w.total_work = 60 * sec;
+  w.survival_ratio = 0.5;
+  w.live_set = 512 * MiB;
+  Jvm jvm(f.host, c,
+          {.kind = JvmKind::kAdaptive, .elastic_heap = true,
+           .heap_poll_interval = 100 * msec},
+          w);
+  // Let the old generation fill with promoted-but-dead data.
+  f.host.engine().run_until(
+      [&] { return jvm.heap().old_used() > static_cast<Bytes>(2) * GiB; },
+      3600 * sec);
+  const int majors_before = jvm.stats().major_gcs;
+  const Bytes used_before = jvm.heap().used();
+
+  // New limit sits below the current *used* space: case 3 — the poll must
+  // force major collections until the live data (512 MiB plus whatever the
+  // young generation holds mid-mutation) fits under it.
+  c.update_mem_soft_limit(1 * GiB);
+  c.update_mem_limit(15 * GiB / 10);  // 1.5 GiB
+  f.host.run_for(6 * sec);
+  EXPECT_GT(jvm.stats().major_gcs, majors_before);
+  EXPECT_LT(jvm.heap().used(), used_before / 2);
+  EXPECT_LE(jvm.heap().virtual_max(), static_cast<Bytes>(15) * GiB / 10);
+}
+
+TEST(ElasticHeap, PollIntervalRespected) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.mem_limit = 4 * GiB;
+  config.mem_soft_limit = 2 * GiB;
+  auto& c = f.runtime.run(config);
+  auto w = steady_workload();
+  w.total_work = 120 * sec;  // must still be running at the 10 s poll
+  Jvm slow_poll(f.host, c,
+                {.kind = JvmKind::kAdaptive, .elastic_heap = true,
+                 .heap_poll_interval = 10 * sec},
+                w);
+  // Raise the hard limit; the view reacts instantly but the heap only at
+  // the next poll, which is 10 simulated seconds away.
+  f.host.run_for(1 * sec);
+  const Bytes vmax_before = slow_poll.heap().virtual_max();
+  c.update_mem_soft_limit(3 * GiB);
+  f.host.run_for(2 * sec);
+  EXPECT_EQ(slow_poll.heap().virtual_max(), vmax_before);  // not yet polled
+  f.host.run_for(9 * sec);
+  EXPECT_GT(slow_poll.heap().virtual_max(), vmax_before);  // polled
+}
+
+TEST(ElasticHeap, NonElasticAdaptiveKeepsStaticVirtualMax) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.mem_limit = 4 * GiB;
+  config.mem_soft_limit = 1 * GiB;
+  auto& c = f.runtime.run(config);
+  Jvm jvm(f.host, c, {.kind = JvmKind::kAdaptive, .elastic_heap = false},
+          steady_workload());
+  const Bytes vmax = jvm.heap().virtual_max();
+  f.host.run_for(5 * sec);
+  EXPECT_EQ(jvm.heap().virtual_max(), vmax);
+}
+
+}  // namespace
+}  // namespace arv::jvm

@@ -1,0 +1,196 @@
+#include "src/jvm/gc_tasks.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace arv::jvm {
+namespace {
+
+using namespace arv::units;
+
+TEST(GcTaskQueue, FifoOrder) {
+  GcTaskQueue q;
+  q.push({GcTaskKind::kScavengeRoots, 10, 0});
+  q.push({GcTaskKind::kSteal, 20, 0});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().kind, GcTaskKind::kScavengeRoots);
+  EXPECT_EQ(q.pop().kind, GcTaskKind::kSteal);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(GcSession, BeginFillsQueueFromLiveBytes) {
+  GcSession gc;
+  gc.begin(GcPhase::kMinor, 0, 4, 64 * MiB, 600, 2 * msec, 0.03, 0.25);
+  EXPECT_TRUE(gc.active());
+  EXPECT_EQ(gc.phase(), GcPhase::kMinor);
+  EXPECT_EQ(gc.active_workers(), 4);
+  // 64 MiB at 4 MiB per stripe = 16 scan tasks + 4 fixed tasks.
+  EXPECT_EQ(gc.tasks_remaining(), 20u);
+}
+
+TEST(GcSession, AdvanceDrainsWorkAndScansBytes) {
+  GcSession gc;
+  gc.begin(GcPhase::kMinor, 0, 1, 8 * MiB, 1000 /*us per MiB*/, 0, 0.0, 0.0);
+  // Total work = 8 MiB * 1000us = 8000us. One worker, full efficiency.
+  Bytes scanned = 0;
+  for (int tick = 0; tick < 8; ++tick) {
+    scanned += gc.advance(1 * msec, 1 * msec);
+  }
+  EXPECT_TRUE(gc.done());
+  EXPECT_EQ(scanned, 8 * MiB);
+}
+
+TEST(GcSession, FinishReportsTotals) {
+  GcSession gc;
+  gc.begin(GcPhase::kMajor, 100, 2, 4 * MiB, 500, 0, 0.0, 0.0);
+  while (!gc.done()) {
+    gc.advance(2 * msec, 1 * msec);
+  }
+  const GcSessionResult result = gc.finish(5100);
+  EXPECT_EQ(result.phase, GcPhase::kMajor);
+  EXPECT_EQ(result.start, 100);
+  EXPECT_EQ(result.end, 5100);
+  EXPECT_EQ(result.active_workers, 2);
+  EXPECT_EQ(result.bytes_scanned, 4 * MiB);
+  EXPECT_GT(result.cpu_spent, 0);
+  EXPECT_FALSE(gc.active());  // reusable
+}
+
+TEST(GcSession, MoreWorkersFinishFasterUpToCpus) {
+  // With alpha > 0 but enough CPUs, 4 workers beat 1 worker on wall time.
+  auto run_gc = [](int workers, CpuTime grant_per_tick) {
+    GcSession gc;
+    gc.begin(GcPhase::kMinor, 0, workers, 32 * MiB, 1000, 0, 0.03, 0.25);
+    int ticks = 0;
+    while (!gc.done() && ticks < 100000) {
+      gc.advance(grant_per_tick, 1 * msec);
+      ++ticks;
+    }
+    return ticks;
+  };
+  const int one = run_gc(1, 1 * msec);       // 1 worker, 1 CPU
+  const int four = run_gc(4, 4 * msec);      // 4 workers, 4 CPUs
+  EXPECT_LT(four, one);
+}
+
+TEST(GcSession, OverthreadingHurts) {
+  // 20 workers on 4 granted CPUs is slower than 4 workers on 4 CPUs.
+  auto run_gc = [](int workers) {
+    GcSession gc;
+    gc.begin(GcPhase::kMinor, 0, workers, 32 * MiB, 1000, 0, 0.03, 0.25);
+    int ticks = 0;
+    while (!gc.done() && ticks < 1000000) {
+      gc.advance(4 * msec, 1 * msec);  // scheduler grants 4 CPUs
+      ++ticks;
+    }
+    return ticks;
+  };
+  EXPECT_GT(run_gc(20), run_gc(4));
+}
+
+TEST(GcSession, SynchronizationOverheadIsSublinear) {
+  // Doubling workers with matching CPUs never doubles speed when alpha > 0.
+  auto ticks_for = [](int workers) {
+    GcSession gc;
+    gc.begin(GcPhase::kMinor, 0, workers, 64 * MiB, 1000, 0, 0.05, 0.0);
+    int ticks = 0;
+    while (!gc.done() && ticks < 1000000) {
+      gc.advance(static_cast<CpuTime>(workers) * msec, 1 * msec);
+      ++ticks;
+    }
+    return ticks;
+  };
+  const int t4 = ticks_for(4);
+  const int t8 = ticks_for(8);
+  EXPECT_LT(t8, t4);            // still faster...
+  EXPECT_GT(t8 * 2, t4);        // ...but less than 2x
+}
+
+TEST(GcSession, ZeroGrantMakesNoProgress) {
+  GcSession gc;
+  gc.begin(GcPhase::kMinor, 0, 2, 8 * MiB, 1000, 0, 0.0, 0.0);
+  EXPECT_EQ(gc.advance(0, 1 * msec), 0);
+  EXPECT_FALSE(gc.done());
+}
+
+TEST(GcSession, PartialTaskProgressCarries) {
+  GcSession gc;
+  // One 4 MiB stripe = 4000us of work; feed it 100us at a time.
+  gc.begin(GcPhase::kMinor, 0, 1, 4 * MiB, 1000, 0, 0.0, 0.0);
+  Bytes scanned = 0;
+  int ticks = 0;
+  while (!gc.done() && ticks < 10000) {
+    scanned += gc.advance(100, 1 * msec);
+    ++ticks;
+  }
+  EXPECT_TRUE(gc.done());
+  EXPECT_EQ(scanned, 4 * MiB);
+}
+
+TEST(GcSession, TasksSpreadAcrossWorkers) {
+  GcSession gc;
+  gc.begin(GcPhase::kMinor, 0, 4, 64 * MiB, 600, 2 * msec, 0.0, 0.0);
+  while (!gc.done()) {
+    gc.advance(4 * msec, 1 * msec);
+  }
+  const auto& per_worker = gc.tasks_per_worker();
+  ASSERT_EQ(per_worker.size(), 4u);
+  const auto total = std::accumulate(per_worker.begin(), per_worker.end(), 0ull);
+  EXPECT_EQ(total, 20u);
+  for (const auto count : per_worker) {
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST(HotspotDefaults, GcThreadFormula) {
+  EXPECT_EQ(hotspot_default_gc_threads(1), 1);
+  EXPECT_EQ(hotspot_default_gc_threads(4), 4);
+  EXPECT_EQ(hotspot_default_gc_threads(8), 8);
+  EXPECT_EQ(hotspot_default_gc_threads(16), 13);
+  EXPECT_EQ(hotspot_default_gc_threads(20), 15);  // the paper's host
+  EXPECT_EQ(hotspot_default_gc_threads(64), 43);
+}
+
+struct ActiveWorkerParam {
+  int pool;
+  int mutators;
+  Bytes heap;
+  int expected;
+};
+
+class ActiveWorkers : public ::testing::TestWithParam<ActiveWorkerParam> {};
+
+TEST_P(ActiveWorkers, Heuristic) {
+  const auto p = GetParam();
+  EXPECT_EQ(hotspot_active_workers(p.pool, p.mutators, p.heap), p.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ActiveWorkers,
+    ::testing::Values(
+        // Tiny heap bounds workers regardless of mutators.
+        ActiveWorkerParam{15, 16, 64 * MiB, 1},
+        ActiveWorkerParam{15, 16, 256 * MiB, 4},
+        // Mutator bound: 1 mutator => at most 2 workers.
+        ActiveWorkerParam{15, 1, 10 * GiB, 2},
+        // Pool clamps everything.
+        ActiveWorkerParam{4, 16, 10 * GiB, 4},
+        // Floor of 1.
+        ActiveWorkerParam{15, 0, 1 * MiB, 1}));
+
+TEST(GcSessionDeath, DoubleBeginAborts) {
+  GcSession gc;
+  gc.begin(GcPhase::kMinor, 0, 1, MiB, 100, 0, 0.0, 0.0);
+  EXPECT_DEATH(gc.begin(GcPhase::kMinor, 0, 1, MiB, 100, 0, 0.0, 0.0),
+               "in progress");
+}
+
+TEST(GcSessionDeath, FinishWithWorkOutstandingAborts) {
+  GcSession gc;
+  gc.begin(GcPhase::kMinor, 0, 1, 8 * MiB, 1000, 0, 0.0, 0.0);
+  EXPECT_DEATH(gc.finish(10), "outstanding");
+}
+
+}  // namespace
+}  // namespace arv::jvm

@@ -1,0 +1,179 @@
+#include "src/jvm/heap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cgroup/cgroup.h"
+
+namespace arv::jvm {
+namespace {
+
+using namespace arv::units;
+
+struct Fixture {
+  Fixture() : tree(8), mm(tree, mem_config()), cg(tree.create("jvm")) {}
+
+  static mem::Config mem_config() {
+    mem::Config config;
+    config.total_ram = 8 * GiB;
+    config.swap_size = 8 * GiB;
+    return config;
+  }
+
+  cgroup::Tree tree;
+  mem::MemoryManager mm;
+  cgroup::CgroupId cg;
+};
+
+TEST(Heap, InitialGeometryKeepsRatio) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 3 * GiB, 300 * MiB);
+  EXPECT_EQ(heap.reserved(), 3 * GiB);
+  EXPECT_EQ(heap.virtual_max(), 3 * GiB);
+  EXPECT_NEAR(static_cast<double>(heap.old_committed()),
+              2.0 * static_cast<double>(heap.young_committed()),
+              static_cast<double>(MiB));
+  EXPECT_NEAR(static_cast<double>(heap.committed()), static_cast<double>(300 * MiB),
+              static_cast<double>(MiB));
+}
+
+TEST(Heap, CommittedMemoryChargedToCgroup) {
+  Fixture f;
+  {
+    Heap heap(f.mm, f.cg, 1 * GiB, 120 * MiB);
+    EXPECT_EQ(f.mm.usage(f.cg), heap.committed());
+  }
+  // Destructor releases the charge.
+  EXPECT_EQ(f.mm.usage(f.cg), 0);
+}
+
+TEST(Heap, AllocateFillsEdenUntilFailure) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 1 * GiB, 120 * MiB);
+  const Bytes eden = heap.eden_capacity();
+  EXPECT_TRUE(heap.allocate(eden / 2));
+  EXPECT_TRUE(heap.allocate(eden / 2));
+  EXPECT_FALSE(heap.allocate(MiB));  // full
+  EXPECT_EQ(heap.eden_used(), eden / 2 * 2);
+  EXPECT_GT(heap.eden_room(), -1);
+}
+
+TEST(Heap, FinishMinorMovesSurvivorsAndPromotes) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 1 * GiB, 300 * MiB);
+  heap.allocate(40 * MiB);
+  heap.finish_minor(/*survivors=*/4 * MiB, /*promoted=*/2 * MiB);
+  EXPECT_EQ(heap.eden_used(), 0);
+  EXPECT_EQ(heap.survivor_used(), 4 * MiB);
+  EXPECT_EQ(heap.old_used(), 2 * MiB);
+  heap.finish_minor(3 * MiB, 4 * MiB);
+  EXPECT_EQ(heap.old_used(), 6 * MiB);
+}
+
+TEST(Heap, FinishMajorCompacts) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 1 * GiB, 300 * MiB);
+  heap.finish_minor(10 * MiB, 100 * MiB);
+  heap.finish_major(/*old_live=*/60 * MiB, /*survivor_live=*/5 * MiB);
+  EXPECT_EQ(heap.old_used(), 60 * MiB);
+  EXPECT_EQ(heap.survivor_used(), 5 * MiB);
+}
+
+TEST(Heap, ResizeYoungGrowsAndCharges) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 2 * GiB, 120 * MiB);
+  const Bytes before = heap.young_committed();
+  ASSERT_TRUE(heap.resize_young(before * 2));
+  EXPECT_EQ(heap.young_committed(), before * 2);
+  EXPECT_EQ(f.mm.usage(f.cg), heap.committed());
+}
+
+TEST(Heap, ResizeYoungClampedToYoungMax) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 900 * MiB, 300 * MiB);
+  ASSERT_TRUE(heap.resize_young(10 * GiB));
+  EXPECT_EQ(heap.young_committed(), heap.young_max());
+}
+
+TEST(Heap, ShrinkNeverDropsBelowUsed) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 1 * GiB, 600 * MiB);
+  heap.allocate(50 * MiB);
+  heap.finish_minor(20 * MiB, 0);
+  ASSERT_TRUE(heap.resize_young(1 * MiB));
+  EXPECT_GE(heap.young_committed(), 20 * MiB);
+  heap.finish_minor(0, 100 * MiB);
+  ASSERT_TRUE(heap.resize_old(1 * MiB));
+  EXPECT_GE(heap.old_committed(), 100 * MiB);
+}
+
+TEST(Heap, PromotionWouldFailDetection) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 300 * MiB, 300 * MiB);
+  EXPECT_FALSE(heap.promotion_would_fail(10 * MiB));
+  EXPECT_TRUE(heap.promotion_would_fail(heap.old_committed() + MiB));
+}
+
+TEST(Heap, VirtualMaxRaiseJustAdjustsLimits) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 2 * GiB, 300 * MiB);
+  heap.set_virtual_max(1 * GiB);
+  EXPECT_EQ(heap.set_virtual_max(2 * GiB), ResizeOutcome::kLimitsAdjusted);
+  EXPECT_EQ(heap.virtual_max(), 2 * GiB);
+  EXPECT_EQ(heap.young_max(), 2 * GiB / 3);
+}
+
+TEST(Heap, VirtualMaxClampedToReserved) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 1 * GiB, 120 * MiB);
+  heap.set_virtual_max(4 * GiB);
+  EXPECT_EQ(heap.virtual_max(), 1 * GiB);
+}
+
+TEST(Heap, VirtualMaxShrinkCase1LimitsOnly) {
+  // Committed far below the new limit: only the red dotted lines move.
+  Fixture f;
+  Heap heap(f.mm, f.cg, 2 * GiB, 120 * MiB);
+  const Bytes committed = heap.committed();
+  EXPECT_EQ(heap.set_virtual_max(1 * GiB), ResizeOutcome::kLimitsAdjusted);
+  EXPECT_EQ(heap.committed(), committed);
+}
+
+TEST(Heap, VirtualMaxShrinkCase2ReleasesFreeCommitted) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 2 * GiB, 1800 * MiB);  // large committed, unused
+  EXPECT_EQ(heap.set_virtual_max(600 * MiB), ResizeOutcome::kCommittedShrunk);
+  EXPECT_LE(heap.committed(), 600 * MiB + 2 * page);
+  EXPECT_EQ(f.mm.usage(f.cg), heap.committed());
+}
+
+TEST(Heap, VirtualMaxShrinkCase3RequiresGc) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 2 * GiB, 1800 * MiB);
+  heap.finish_minor(0, /*promoted=*/500 * MiB);  // old_used = 500 MiB
+  // New old_max = 2/3 * 600 MiB = 400 MiB < 500 MiB used.
+  EXPECT_EQ(heap.set_virtual_max(600 * MiB), ResizeOutcome::kGcRequired);
+}
+
+TEST(Heap, HardLimitBreachMarksOomKilled) {
+  Fixture f;
+  mem::Config config;
+  config.total_ram = 8 * GiB;
+  config.swap_size = 0;  // no swap => hard-limit breach kills
+  mem::MemoryManager mm(f.tree, config);
+  f.tree.set_mem_limit(f.cg, 256 * MiB);
+  Heap heap(mm, f.cg, 2 * GiB, 64 * MiB);
+  EXPECT_FALSE(heap.oom_killed());
+  heap.resize_old(1 * GiB);
+  EXPECT_TRUE(heap.oom_killed());
+}
+
+TEST(Heap, EdenCapacityIsFractionOfYoung) {
+  Fixture f;
+  Heap heap(f.mm, f.cg, 1 * GiB, 300 * MiB);
+  EXPECT_NEAR(static_cast<double>(heap.eden_capacity()),
+              0.8 * static_cast<double>(heap.young_committed()),
+              static_cast<double>(page));
+}
+
+}  // namespace
+}  // namespace arv::jvm

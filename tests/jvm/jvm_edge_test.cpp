@@ -1,0 +1,146 @@
+// JVM edge cases: kernel OOM kill, JDK-10 end-to-end, trace contents,
+// throughput accounting under stalls.
+#include <gtest/gtest.h>
+
+#include "src/jvm/jvm.h"
+#include "src/workloads/hogs.h"
+
+namespace arv::jvm {
+namespace {
+
+using namespace arv::units;
+
+struct Fixture {
+  explicit Fixture(int cpus = 8, Bytes ram = 16 * GiB)
+      : host(host_config(cpus, ram)), runtime(host) {}
+
+  static container::HostConfig host_config(int cpus, Bytes ram) {
+    container::HostConfig config;
+    config.cpus = cpus;
+    config.ram = ram;
+    config.mem.swap_size = 0;  // hard-limit breaches kill (edge-case focus)
+    return config;
+  }
+
+  container::Host host;
+  container::ContainerRuntime runtime;
+};
+
+JavaWorkload greedy() {
+  JavaWorkload w;
+  w.name = "greedy";
+  w.total_work = 20 * sec;
+  w.mutator_threads = 4;
+  w.alloc_per_cpu_sec = 400 * MiB;
+  w.live_set = 2 * GiB;
+  w.survival_ratio = 0.5;
+  return w;
+}
+
+TEST(JvmEdge, CgroupOomKillReportsKilled) {
+  // No swap: the first charge past the hard limit kills the container, and
+  // the JVM must report kKilled (not OutOfMemoryError).
+  Fixture f;
+  container::ContainerConfig config;
+  config.mem_limit = 512 * MiB;
+  config.enable_resource_view = false;
+  auto& c = f.runtime.run(config);
+  Jvm jvm(f.host, c, {.kind = JvmKind::kVanilla8}, greedy());  // 4 GiB max heap
+  f.host.engine().run_until([&] { return jvm.finished(); }, 3600 * sec);
+  EXPECT_EQ(jvm.state(), JvmState::kKilled);
+  EXPECT_TRUE(jvm.stats().killed);
+  EXPECT_FALSE(jvm.stats().completed);
+  EXPECT_TRUE(f.host.memory().oom_killed(c.cgroup()));
+}
+
+TEST(JvmEdge, Jdk10EndToEndUsesShareDerivedThreads) {
+  Fixture f(20, 64 * GiB);
+  // Ten equal-share containers; only one runs Java (Figure 8's setup).
+  std::vector<container::Container*> peers;
+  for (int i = 0; i < 9; ++i) {
+    container::ContainerConfig config;
+    config.name = "peer" + std::to_string(i);
+    config.enable_resource_view = false;
+    peers.push_back(&f.runtime.run(config));
+  }
+  container::ContainerConfig config;
+  config.name = "java";
+  config.enable_resource_view = false;
+  auto& c = f.runtime.run(config);
+  auto w = greedy();
+  w.live_set = 128 * MiB;
+  w.survival_ratio = 0.1;
+  w.total_work = 3 * sec;
+  Jvm jvm(f.host, c, {.kind = JvmKind::kJdk10, .xmx = 1 * GiB}, w);
+  EXPECT_EQ(jvm.launch().gc_worker_pool, 2);  // ceil(20/10) share CPUs
+  f.host.engine().run_until([&] { return jvm.finished(); }, 3600 * sec);
+  EXPECT_TRUE(jvm.stats().completed);
+  for (const auto& sample : jvm.gc_thread_trace()) {
+    EXPECT_LE(sample.workers, 2);
+  }
+}
+
+TEST(JvmEdge, GcTraceDistinguishesMinorAndMajor) {
+  Fixture f(8, 32 * GiB);
+  container::ContainerConfig config;
+  config.enable_resource_view = false;
+  auto& c = f.runtime.run(config);
+  auto w = greedy();
+  w.live_set = 64 * MiB;
+  w.survival_ratio = 0.6;  // heavy promotion => majors
+  w.total_work = 6 * sec;
+  Jvm jvm(f.host, c, {.kind = JvmKind::kVanilla8, .xmx = 256 * MiB}, w);
+  f.host.engine().run_until([&] { return jvm.finished(); }, 3600 * sec);
+  ASSERT_TRUE(jvm.stats().completed);
+  int minors = 0;
+  int majors = 0;
+  for (const auto& sample : jvm.gc_thread_trace()) {
+    (sample.phase == GcPhase::kMinor ? minors : majors) += 1;
+  }
+  EXPECT_EQ(minors, jvm.stats().minor_gcs);
+  EXPECT_EQ(majors, jvm.stats().major_gcs);
+  EXPECT_GT(majors, 0);
+  EXPECT_GT(jvm.stats().major_gc_time, 0);
+}
+
+TEST(JvmEdge, StallTimeExcludedFromCpuButCountedInWall) {
+  container::HostConfig host_config;
+  host_config.cpus = 4;
+  host_config.ram = 8 * GiB;  // swap stays enabled here
+  container::Host host(host_config);
+  container::ContainerRuntime runtime(host);
+  container::ContainerConfig config;
+  config.mem_limit = 256 * MiB;
+  config.enable_resource_view = false;
+  auto& c = runtime.run(config);
+  auto w = greedy();
+  w.live_set = 400 * MiB;  // exceeds the hard limit => swap-backed
+  w.survival_ratio = 0.5;
+  w.total_work = 2 * sec;
+  Jvm jvm(host, c, {.kind = JvmKind::kVanilla8, .xmx = 1 * GiB}, w);
+  host.engine().run_until([&] { return jvm.finished(); }, 7200 * sec);
+  ASSERT_GT(jvm.stats().stall_time, 0);
+  // Wall time covers CPU work plus stalls: it must exceed the pure-CPU
+  // lower bound (total_work / cpus) by at least the stall time.
+  EXPECT_GT(jvm.stats().exec_time(),
+            2 * sec / 4 + jvm.stats().stall_time / 2);
+}
+
+TEST(JvmEdge, FinishedJvmIgnoresFurtherGrants) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  auto w = greedy();
+  w.live_set = 32 * MiB;
+  w.survival_ratio = 0.05;
+  w.total_work = 500 * msec;
+  Jvm jvm(f.host, c, {.kind = JvmKind::kAdaptive, .xmx = 512 * MiB}, w);
+  f.host.engine().run_until([&] { return jvm.finished(); }, 3600 * sec);
+  const auto end_time = jvm.stats().end_time;
+  const auto gcs = jvm.stats().minor_gcs;
+  f.host.run_for(1 * sec);
+  EXPECT_EQ(jvm.stats().end_time, end_time);
+  EXPECT_EQ(jvm.stats().minor_gcs, gcs);
+}
+
+}  // namespace
+}  // namespace arv::jvm

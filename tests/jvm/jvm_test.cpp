@@ -1,0 +1,234 @@
+#include "src/jvm/jvm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/java_suites.h"
+
+namespace arv::jvm {
+namespace {
+
+using namespace arv::units;
+
+struct Fixture {
+  explicit Fixture(int cpus = 8, Bytes ram = 32 * GiB)
+      : host(host_config(cpus, ram)), runtime(host) {}
+
+  static container::HostConfig host_config(int cpus, Bytes ram) {
+    container::HostConfig config;
+    config.cpus = cpus;
+    config.ram = ram;
+    return config;
+  }
+
+  container::Container& run(container::ContainerConfig config = {}) {
+    return runtime.run(config);
+  }
+
+  JavaWorkload small_workload() {
+    JavaWorkload w;
+    w.name = "unit";
+    w.total_work = 2 * sec;
+    w.mutator_threads = 4;
+    w.alloc_per_cpu_sec = 200 * MiB;
+    w.live_set = 64 * MiB;
+    w.survival_ratio = 0.1;
+    return w;
+  }
+
+  void run_to_completion(Jvm& jvm, SimDuration limit = 600 * sec) {
+    host.engine().run_until([&] { return jvm.finished(); },
+                            host.now() + limit);
+  }
+
+  container::Host host;
+  container::ContainerRuntime runtime;
+};
+
+TEST(Jvm, CompletesSmallWorkload) {
+  Fixture f;
+  auto& c = f.run();
+  Jvm jvm(f.host, c, {.kind = JvmKind::kAdaptive}, f.small_workload());
+  f.run_to_completion(jvm);
+  EXPECT_EQ(jvm.state(), JvmState::kCompleted);
+  EXPECT_TRUE(jvm.stats().completed);
+  EXPECT_GT(jvm.stats().exec_time(), 0);
+  EXPECT_DOUBLE_EQ(jvm.progress(), 1.0);
+}
+
+TEST(Jvm, PerformsMinorCollections) {
+  Fixture f;
+  auto& c = f.run();
+  Jvm jvm(f.host, c, {.kind = JvmKind::kAdaptive, .xmx = 256 * MiB},
+          f.small_workload());
+  f.run_to_completion(jvm);
+  EXPECT_GT(jvm.stats().minor_gcs, 0);
+  EXPECT_GT(jvm.stats().minor_gc_time, 0);
+  EXPECT_FALSE(jvm.gc_thread_trace().empty());
+}
+
+TEST(Jvm, ExecTimeScalesWithWork) {
+  Fixture f;
+  auto& c1 = f.run({.name = "w1"});
+  auto& c2 = f.run({.name = "w2"});
+  auto small = f.small_workload();
+  auto big = f.small_workload();
+  big.total_work = 4 * sec;
+  // Run sequentially on separate fixtures to avoid interference.
+  Fixture fa;
+  auto& ca = fa.run();
+  Jvm jvm_small(fa.host, ca, {.kind = JvmKind::kAdaptive}, small);
+  fa.run_to_completion(jvm_small);
+  Fixture fb;
+  auto& cb = fb.run();
+  Jvm jvm_big(fb.host, cb, {.kind = JvmKind::kAdaptive}, big);
+  fb.run_to_completion(jvm_big);
+  EXPECT_GT(jvm_big.stats().exec_time(), jvm_small.stats().exec_time());
+  (void)c1;
+  (void)c2;
+}
+
+TEST(Jvm, HeapStaysWithinXmx) {
+  Fixture f;
+  auto& c = f.run();
+  Jvm jvm(f.host, c, {.kind = JvmKind::kAdaptive, .xmx = 200 * MiB},
+          f.small_workload());
+  bool violated = false;
+  f.host.engine().run_until(
+      [&] {
+        violated = violated || jvm.heap().committed() > 200 * MiB + 2 * page;
+        return jvm.finished();
+      },
+      600 * sec);
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(jvm.state(), JvmState::kCompleted);
+}
+
+TEST(Jvm, OomWhenLiveSetExceedsHeap) {
+  // The Figure 2(b) JDK-9 failure: live set cannot fit the 1/4-hard-limit
+  // heap, so the JVM dies with OutOfMemoryError instead of finishing.
+  Fixture f;
+  container::ContainerConfig config;
+  config.mem_limit = 1 * GiB;
+  config.enable_resource_view = false;
+  auto& c = f.run(config);
+  auto w = f.small_workload();
+  w.live_set = 600 * MiB;       // > 256 MiB heap
+  w.alloc_per_cpu_sec = 400 * MiB;
+  w.survival_ratio = 0.6;       // the live set materializes via promotion
+  Jvm jvm(f.host, c, {.kind = JvmKind::kJdk9}, w);
+  f.run_to_completion(jvm);
+  EXPECT_EQ(jvm.state(), JvmState::kOomError);
+  EXPECT_TRUE(jvm.stats().oom_error);
+  EXPECT_FALSE(jvm.stats().completed);
+}
+
+TEST(Jvm, SwapsWhenHeapExceedsContainerLimit) {
+  // Vanilla JDK 8 in a 1 GiB container sizes its heap from host RAM; the
+  // committed heap crosses the hard limit and the container starts swapping.
+  Fixture f(8, 32 * GiB);
+  container::ContainerConfig config;
+  config.mem_limit = 640 * MiB;
+  config.enable_resource_view = false;
+  auto& c = f.run(config);
+  auto w = f.small_workload();
+  w.live_set = 500 * MiB;  // forces committed > 640 MiB
+  w.total_work = 1 * sec;
+  Jvm jvm(f.host, c, {.kind = JvmKind::kVanilla8}, w);
+  f.run_to_completion(jvm, 3600 * sec);
+  EXPECT_GT(jvm.stats().stall_time, 0);
+  EXPECT_GT(f.host.memory().swapped(c.cgroup()), 0);
+}
+
+TEST(Jvm, AdaptiveUsesEffectiveCpuForGcThreads) {
+  Fixture f(20, 32 * GiB);
+  container::ContainerConfig config;
+  config.cfs_quota_us = 400000;  // 4 CPUs
+  auto& c = f.run(config);
+  auto w = f.small_workload();
+  w.mutator_threads = 16;
+  w.live_set = 512 * MiB;  // heap big enough not to bound workers
+  Jvm jvm(f.host, c, {.kind = JvmKind::kAdaptive, .xmx = 3 * GiB}, w);
+  f.run_to_completion(jvm);
+  ASSERT_FALSE(jvm.gc_thread_trace().empty());
+  for (const auto& sample : jvm.gc_thread_trace()) {
+    EXPECT_LE(sample.workers, 4);
+  }
+}
+
+TEST(Jvm, VanillaStaticWakesWholePool) {
+  Fixture f(20, 32 * GiB);
+  container::ContainerConfig config;
+  config.enable_resource_view = false;
+  auto& c = f.run(config);
+  auto w = f.small_workload();
+  w.mutator_threads = 16;
+  w.live_set = 512 * MiB;
+  Jvm jvm(f.host, c,
+          {.kind = JvmKind::kVanilla8, .dynamic_gc_threads = false,
+           .xmx = 3 * GiB},
+          w);
+  f.run_to_completion(jvm);
+  ASSERT_FALSE(jvm.gc_thread_trace().empty());
+  EXPECT_EQ(jvm.gc_thread_trace().front().workers, 15);
+}
+
+TEST(Jvm, ElasticHeapTracksEffectiveMemory) {
+  Fixture f(8, 64 * GiB);
+  container::ContainerConfig config;
+  config.mem_limit = 8 * GiB;
+  config.mem_soft_limit = 2 * GiB;
+  auto& c = f.run(config);
+  // Leak-style workload: the live set grows past the initial effective
+  // memory, so the resource view (and VirtualMax with it) must expand.
+  auto w = f.small_workload();
+  w.total_work = 30 * sec;
+  w.live_set = 256 * MiB;
+  w.live_fraction_of_alloc = 0.3;
+  w.survival_ratio = 0.4;
+  Jvm jvm(f.host, c,
+          {.kind = JvmKind::kAdaptive, .elastic_heap = true,
+           .heap_poll_interval = 200 * msec},
+          w);
+  // VirtualMax starts at effective memory (soft limit).
+  EXPECT_EQ(jvm.heap().virtual_max(), 2 * GiB);
+  f.run_to_completion(jvm, 3600 * sec);
+  EXPECT_EQ(jvm.state(), JvmState::kCompleted);
+  // Effective memory expanded toward the hard limit as usage approached it,
+  // and the heap followed.
+  EXPECT_GT(jvm.heap().virtual_max(), 2 * GiB);
+  EXPECT_LE(jvm.heap().virtual_max(), 8 * GiB);
+}
+
+TEST(Jvm, SampleHeapReportsGeometry) {
+  Fixture f;
+  auto& c = f.run();
+  Jvm jvm(f.host, c, {.kind = JvmKind::kAdaptive, .xmx = 256 * MiB},
+          f.small_workload());
+  const auto sample = jvm.sample_heap();
+  EXPECT_EQ(sample.when, f.host.now());
+  EXPECT_EQ(sample.committed, jvm.heap().committed());
+  EXPECT_EQ(sample.virtual_max, 256 * MiB);
+}
+
+TEST(Jvm, LiveTargetGrowsForLeakyWorkloads) {
+  Fixture f;
+  auto& c = f.run();
+  auto w = f.small_workload();
+  w.live_fraction_of_alloc = 0.5;
+  Jvm jvm(f.host, c, {.kind = JvmKind::kAdaptive}, w);
+  const Bytes before = jvm.live_target();
+  f.host.run_for(2 * sec);
+  EXPECT_GT(jvm.live_target(), before);
+}
+
+TEST(Jvm, RunnableThreadsFollowState) {
+  Fixture f;
+  auto& c = f.run();
+  Jvm jvm(f.host, c, {.kind = JvmKind::kAdaptive}, f.small_workload());
+  EXPECT_EQ(jvm.runnable_threads(), 4);  // mutating
+  f.run_to_completion(jvm);
+  EXPECT_EQ(jvm.runnable_threads(), 0);  // done
+}
+
+}  // namespace
+}  // namespace arv::jvm

@@ -1,0 +1,204 @@
+#include "src/jvm/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/java_suites.h"
+
+namespace arv::jvm {
+namespace {
+
+using namespace arv::units;
+
+struct Fixture {
+  Fixture() : host(host_config()), runtime(host) {}
+
+  static container::HostConfig host_config() {
+    container::HostConfig config;
+    config.cpus = 20;
+    config.ram = 128 * GiB;
+    return config;
+  }
+
+  container::Container& run(container::ContainerConfig config) {
+    return runtime.run(config);
+  }
+
+  LaunchDecision launch(container::Container& c, JvmFlags flags,
+                        JavaWorkload workload = {}) {
+    const proc::Pid pid = c.spawn_process("probe");
+    return decide_launch(host, c, pid, flags, workload);
+  }
+
+  container::Host host;
+  container::ContainerRuntime runtime;
+};
+
+TEST(Jdk9CpuCount, PrefersCpusetOverQuota) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.cpuset = CpuSet::first_n(2);
+  config.cfs_quota_us = 1000000;  // 10 CPUs, ignored
+  auto& c = f.run(config);
+  EXPECT_EQ(jdk9_cpu_count(f.host, c.cgroup()), 2);
+}
+
+TEST(Jdk9CpuCount, FallsBackToQuota) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.cfs_quota_us = 1000000;
+  auto& c = f.run(config);
+  EXPECT_EQ(jdk9_cpu_count(f.host, c.cgroup()), 10);
+}
+
+TEST(Jdk9CpuCount, UnconstrainedSeesHost) {
+  Fixture f;
+  auto& c = f.run({});
+  EXPECT_EQ(jdk9_cpu_count(f.host, c.cgroup()), 20);
+}
+
+TEST(Jdk10CpuCount, ShareFractionCapsCount) {
+  // The Figure 8 setup: ten equal-share containers on 20 cores => 2.
+  Fixture f;
+  container::Container* first = nullptr;
+  for (int i = 0; i < 10; ++i) {
+    container::ContainerConfig config;
+    config.name = "c" + std::to_string(i);
+    auto& c = f.run(config);
+    if (i == 0) {
+      first = &c;
+    }
+  }
+  EXPECT_EQ(jdk10_cpu_count(f.host, first->cgroup()), 2);
+}
+
+TEST(Jdk10CpuCount, QuotaStillWinsWhenSmaller) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.cfs_quota_us = 100000;  // 1 CPU
+  auto& c = f.run(config);
+  f.run({.name = "peer"});
+  EXPECT_EQ(jdk10_cpu_count(f.host, c.cgroup()), 1);
+}
+
+TEST(DecideLaunch, Vanilla8ProbesHostCpusInStockContainer) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.enable_resource_view = false;
+  config.cfs_quota_us = 400000;  // invisible to vanilla JDK 8
+  auto& c = f.run(config);
+  const auto d = f.launch(c, {.kind = JvmKind::kVanilla8});
+  EXPECT_EQ(d.gc_worker_pool, 15);  // hotspot formula on 20 CPUs
+}
+
+TEST(DecideLaunch, Vanilla8InAdaptiveContainerSeesEffectiveCpus) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.cfs_quota_us = 400000;  // E_CPU upper = 4
+  auto& c = f.run(config);
+  const auto d = f.launch(c, {.kind = JvmKind::kVanilla8});
+  EXPECT_EQ(d.gc_worker_pool, 4);
+}
+
+TEST(DecideLaunch, Jdk9UsesStaticLimit) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.enable_resource_view = false;
+  config.cpuset = CpuSet::first_n(10);
+  auto& c = f.run(config);
+  const auto d = f.launch(c, {.kind = JvmKind::kJdk9});
+  EXPECT_EQ(d.gc_worker_pool, 9);  // hotspot formula: 8 + (10-8)*5/8
+}
+
+TEST(DecideLaunch, AdaptiveLaunchesMaximumPool) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.cfs_quota_us = 200000;  // tight limit now, may be lifted later
+  auto& c = f.run(config);
+  const auto d = f.launch(c, {.kind = JvmKind::kAdaptive});
+  EXPECT_EQ(d.gc_worker_pool, 15);  // §4.1: max by online CPUs
+}
+
+TEST(DecideLaunch, Vanilla8HeapIsQuarterOfDetectedMemory) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.enable_resource_view = false;
+  config.mem_limit = 1 * GiB;  // invisible
+  auto& c = f.run(config);
+  const auto d = f.launch(c, {.kind = JvmKind::kVanilla8});
+  EXPECT_EQ(d.max_heap, 32 * GiB);  // 128/4, the Figure 2(b) mistake
+}
+
+TEST(DecideLaunch, Jdk9HeapIsQuarterOfHardLimit) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.enable_resource_view = false;
+  config.mem_limit = 1 * GiB;
+  auto& c = f.run(config);
+  const auto d = f.launch(c, {.kind = JvmKind::kJdk9});
+  EXPECT_EQ(d.max_heap, 256 * MiB);
+}
+
+TEST(DecideLaunch, XmxOverridesErgonomics) {
+  Fixture f;
+  auto& c = f.run({});
+  const auto d = f.launch(c, {.kind = JvmKind::kVanilla8, .xmx = 2 * GiB});
+  EXPECT_EQ(d.max_heap, 2 * GiB);
+}
+
+TEST(DecideLaunch, AdaptiveElasticStartsVirtualMaxAtEffectiveMemory) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.mem_limit = 30 * GiB;
+  config.mem_soft_limit = 15 * GiB;
+  auto& c = f.run(config);
+  const auto d =
+      f.launch(c, {.kind = JvmKind::kAdaptive, .elastic_heap = true});
+  EXPECT_EQ(d.initial_virtual_max, 15 * GiB);     // E_MEM = soft limit
+  EXPECT_GT(d.max_heap, 100 * GiB);               // reserved near phys
+  EXPECT_EQ(d.initial_heap, 15 * GiB / 4);
+}
+
+TEST(DecideGcThreads, VanillaStaticUsesWholePool) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.enable_resource_view = false;
+  auto& c = f.run(config);
+  const proc::Pid pid = c.spawn_process("java");
+  const int threads = decide_gc_threads(
+      f.host, pid, {.kind = JvmKind::kVanilla8, .dynamic_gc_threads = false},
+      15, 8, 10 * GiB);
+  EXPECT_EQ(threads, 15);
+}
+
+TEST(DecideGcThreads, DynamicBoundsByHeapAndMutators) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.enable_resource_view = false;
+  auto& c = f.run(config);
+  const proc::Pid pid = c.spawn_process("java");
+  const int threads = decide_gc_threads(
+      f.host, pid, {.kind = JvmKind::kVanilla8, .dynamic_gc_threads = true},
+      15, 8, 128 * MiB);  // tiny heap => 2 workers
+  EXPECT_EQ(threads, 2);
+}
+
+TEST(DecideGcThreads, AdaptiveCapsByEffectiveCpu) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.cfs_quota_us = 400000;  // E_CPU <= 4
+  auto& c = f.run(config);
+  const proc::Pid pid = c.spawn_process("java");
+  const int threads = decide_gc_threads(
+      f.host, pid, {.kind = JvmKind::kAdaptive, .dynamic_gc_threads = true},
+      15, 16, 10 * GiB);
+  EXPECT_EQ(threads, 4);
+}
+
+TEST(DecideLaunchDeath, OptTunedRequiresThreadCount) {
+  Fixture f;
+  auto& c = f.run({});
+  EXPECT_DEATH(f.launch(c, {.kind = JvmKind::kOptTuned}), "fixed_gc_threads");
+}
+
+}  // namespace
+}  // namespace arv::jvm

@@ -1,0 +1,114 @@
+// Swap-device and watermark edge cases beyond the basic MemoryManager tests.
+#include <gtest/gtest.h>
+
+#include "src/mem/memory_manager.h"
+
+namespace arv::mem {
+namespace {
+
+using namespace arv::units;
+
+TEST(SwapModel, SwapExhaustionEscalatesToOomKill) {
+  cgroup::Tree tree(4);
+  Config config;
+  config.total_ram = 1 * GiB;
+  config.swap_size = 256 * MiB;  // tiny swap
+  MemoryManager mm(tree, config);
+  const auto cg = tree.create("greedy");
+  tree.set_mem_limit(cg, 512 * MiB);
+  // 512 MiB resident + 256 MiB swapped fits; the next page over does not.
+  EXPECT_EQ(mm.charge(cg, 768 * MiB), ChargeResult::kSwapped);
+  EXPECT_EQ(mm.charge(cg, 64 * MiB), ChargeResult::kOomKilled);
+  EXPECT_TRUE(mm.oom_killed(cg));
+}
+
+TEST(SwapModel, StallScalesWithBandwidth) {
+  cgroup::Tree tree(4);
+  for (const Bytes bandwidth : {Bytes(10) * MiB, Bytes(100) * MiB}) {
+    Config config;
+    config.total_ram = 1 * GiB;
+    config.swap_bandwidth_per_sec = bandwidth;
+    MemoryManager mm(tree, config);
+    const auto cg = tree.create("c" + std::to_string(bandwidth));
+    tree.set_mem_limit(cg, 100 * MiB);
+    mm.charge(cg, 200 * MiB);  // half swapped
+    const SimDuration stall = mm.touch(cg, 200 * MiB);
+    // 100 MiB faults at `bandwidth`, thrashing doubles it.
+    const double expected =
+        2.0 * 100.0 * static_cast<double>(MiB) / static_cast<double>(bandwidth) * 1e6;
+    EXPECT_NEAR(static_cast<double>(stall), expected, expected * 0.1);
+  }
+}
+
+TEST(SwapModel, ZeroBandwidthMeansFreeSwap) {
+  cgroup::Tree tree(4);
+  Config config;
+  config.total_ram = 1 * GiB;
+  config.swap_bandwidth_per_sec = 0;  // instantaneous swap (modeling off)
+  MemoryManager mm(tree, config);
+  const auto cg = tree.create("a");
+  tree.set_mem_limit(cg, 64 * MiB);
+  mm.charge(cg, 128 * MiB);
+  EXPECT_EQ(mm.touch(cg, 128 * MiB), 0);
+}
+
+TEST(SwapModel, TouchZeroOrUncommittedIsFree) {
+  cgroup::Tree tree(4);
+  Config config;
+  config.total_ram = 1 * GiB;
+  MemoryManager mm(tree, config);
+  const auto cg = tree.create("a");
+  EXPECT_EQ(mm.touch(cg, 0), 0);
+  EXPECT_EQ(mm.touch(cg, 1 * GiB), 0);  // nothing committed at all
+}
+
+TEST(SwapModel, KswapdReclaimRespectsBatchSize) {
+  cgroup::Tree tree(4);
+  Config config;
+  config.total_ram = 1 * GiB;
+  config.kswapd_batch = 8 * MiB;
+  MemoryManager mm(tree, config);
+  const auto hog = tree.create("hog");
+  tree.set_mem_soft_limit(hog, 100 * MiB);
+  mm.charge(hog, 1010 * MiB);  // free < low watermark
+  mm.tick(0, 1000);
+  ASSERT_TRUE(mm.kswapd_active());
+  const Bytes swapped_first = mm.swapped(hog);
+  EXPECT_GT(swapped_first, 0);
+  EXPECT_LE(swapped_first, 9 * MiB);  // one batch (page rounding slack)
+  mm.tick(1, 1000);
+  EXPECT_GT(mm.swapped(hog), swapped_first);  // keeps going
+}
+
+TEST(SwapModel, HostReservationTriggersWatermarks) {
+  cgroup::Tree tree(4);
+  Config config;
+  config.total_ram = 4 * GiB;
+  MemoryManager mm(tree, config);
+  const auto cg = tree.create("a");
+  tree.set_mem_soft_limit(cg, 64 * MiB);
+  mm.charge(cg, 512 * MiB);
+  EXPECT_FALSE(mm.kswapd_active());
+  // Reserve almost everything: free drops below `low` (3% = ~123 MiB).
+  mm.reserve_host_memory(3520 * MiB);
+  mm.tick(0, 1000);
+  EXPECT_TRUE(mm.kswapd_active());
+}
+
+TEST(SwapModel, UnchargeWhileSwappedKeepsGlobalBalance) {
+  cgroup::Tree tree(4);
+  Config config;
+  config.total_ram = 1 * GiB;
+  MemoryManager mm(tree, config);
+  const auto cg = tree.create("a");
+  tree.set_mem_limit(cg, 100 * MiB);
+  mm.charge(cg, 300 * MiB);  // 100 resident + 200 swapped
+  const Bytes free_before = mm.free_memory();
+  mm.uncharge(cg, 250 * MiB);  // eats all swap + 50 MiB resident
+  EXPECT_EQ(mm.swapped(cg), 0);
+  EXPECT_EQ(mm.usage(cg), 50 * MiB);
+  EXPECT_EQ(mm.free_memory(), free_before + 50 * MiB);
+}
+
+}  // namespace
+}  // namespace arv::mem

@@ -1,0 +1,92 @@
+// OpenMP runtime edge cases.
+#include <gtest/gtest.h>
+
+#include "src/omp/omp_runtime.h"
+
+namespace arv::omp {
+namespace {
+
+using namespace arv::units;
+
+struct Fixture {
+  Fixture() : host(host_config()), runtime(host) {}
+
+  static container::HostConfig host_config() {
+    container::HostConfig config;
+    config.cpus = 8;
+    config.ram = 8 * GiB;
+    return config;
+  }
+
+  container::Host host;
+  container::ContainerRuntime runtime;
+};
+
+TEST(OmpEdge, SingleRegionProgram) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  OmpWorkload w;
+  w.regions = 1;
+  w.region_work = 80 * msec;
+  OmpProcess p(f.host, c, TeamStrategy::kAdaptive, w);
+  f.host.engine().run_until([&] { return p.finished(); }, 60 * sec);
+  EXPECT_EQ(p.stats().regions_done, 1);
+  EXPECT_EQ(p.team_size_trace().size(), 1u);
+}
+
+TEST(OmpEdge, ZeroSerialFractionStillProgresses) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  OmpWorkload w;
+  w.regions = 3;
+  w.region_work = 40 * msec;
+  w.serial_frac = 0.0;
+  OmpProcess p(f.host, c, TeamStrategy::kFixed, w, 4);
+  f.host.engine().run_until([&] { return p.finished(); }, 60 * sec);
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(p.stats().regions_done, 3);
+}
+
+TEST(OmpEdge, TeamSizeReEvaluatedPerRegion) {
+  // The container's quota is lifted mid-run; later regions must see the
+  // larger effective CPU count (per-region team sizing, §4.1).
+  Fixture f;
+  container::ContainerConfig config;
+  config.cfs_quota_us = 200000;  // 2 CPUs
+  auto& c = f.runtime.run(config);
+  OmpWorkload w;
+  w.regions = 40;
+  w.region_work = 100 * msec;
+  OmpProcess p(f.host, c, TeamStrategy::kAdaptive, w);
+  f.host.run_for(2 * sec);
+  c.update_cfs_quota(kUnlimited);
+  f.host.engine().run_until([&] { return p.finished(); }, 600 * sec);
+  const auto& trace = p.team_size_trace();
+  ASSERT_GE(trace.size(), 10u);
+  EXPECT_LE(trace.front(), 3);       // quota era
+  EXPECT_GE(trace.back(), 6);        // expanded era
+}
+
+TEST(OmpEdge, ExecTimeScalesInverselyWithCpus) {
+  auto run_with_quota = [](std::int64_t quota) {
+    Fixture f;
+    container::ContainerConfig config;
+    config.cfs_quota_us = quota;
+    auto& c = f.runtime.run(config);
+    OmpWorkload w;
+    w.regions = 10;
+    w.region_work = 200 * msec;
+    w.alpha = 0.0;
+    w.serial_frac = 0.001;
+    OmpProcess p(f.host, c, TeamStrategy::kAdaptive, w);
+    f.host.engine().run_until([&] { return p.finished(); }, 600 * sec);
+    return p.stats().exec_time();
+  };
+  const auto two_cpus = run_with_quota(200000);
+  const auto four_cpus = run_with_quota(400000);
+  EXPECT_NEAR(static_cast<double>(two_cpus) / static_cast<double>(four_cpus),
+              2.0, 0.25);
+}
+
+}  // namespace
+}  // namespace arv::omp

@@ -1,0 +1,139 @@
+#include "src/omp/omp_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/hogs.h"
+
+namespace arv::omp {
+namespace {
+
+using namespace arv::units;
+
+struct Fixture {
+  explicit Fixture(int cpus = 8) : host(host_config(cpus)), runtime(host) {}
+
+  static container::HostConfig host_config(int cpus) {
+    container::HostConfig config;
+    config.cpus = cpus;
+    config.ram = 16 * GiB;
+    return config;
+  }
+
+  OmpWorkload tiny() {
+    OmpWorkload w;
+    w.name = "unit";
+    w.regions = 5;
+    w.region_work = 40 * msec;
+    w.serial_frac = 0.1;
+    return w;
+  }
+
+  void run_to_completion(OmpProcess& p, SimDuration limit = 600 * sec) {
+    host.engine().run_until([&] { return p.finished(); }, host.now() + limit);
+  }
+
+  container::Host host;
+  container::ContainerRuntime runtime;
+};
+
+TEST(OmpProcess, CompletesAllRegions) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  OmpProcess p(f.host, c, TeamStrategy::kStatic, f.tiny());
+  f.run_to_completion(p);
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(p.stats().regions_done, 5);
+  EXPECT_GT(p.stats().exec_time(), 0);
+  EXPECT_EQ(p.team_size_trace().size(), 5u);
+}
+
+TEST(OmpProcess, StaticTeamMatchesOnlineCpus) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.enable_resource_view = false;  // stock container: host view
+  auto& c = f.runtime.run(config);
+  OmpProcess p(f.host, c, TeamStrategy::kStatic, f.tiny());
+  f.run_to_completion(p);
+  for (const int team : p.team_size_trace()) {
+    EXPECT_EQ(team, 8);
+  }
+}
+
+TEST(OmpProcess, AdaptiveTeamMatchesEffectiveCpus) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.cfs_quota_us = 200000;  // 2 CPUs
+  auto& c = f.runtime.run(config);
+  OmpProcess p(f.host, c, TeamStrategy::kAdaptive, f.tiny());
+  f.run_to_completion(p);
+  for (const int team : p.team_size_trace()) {
+    EXPECT_LE(team, 3);  // E_CPU-sized (2, +1 adaptive wiggle)
+    EXPECT_GE(team, 1);
+  }
+}
+
+TEST(OmpProcess, DynamicSubtractsLoadavg) {
+  Fixture f;
+  // Saturate the host with a CPU hog so loadavg rises, then start the OMP
+  // program: dynamic teams must shrink well below the CPU count.
+  container::ContainerConfig hog_config;
+  hog_config.name = "hog";
+  hog_config.enable_resource_view = false;
+  auto& hog_c = f.runtime.run(hog_config);
+  workloads::CpuHog hog(f.host, hog_c, 8, 3600 * sec);
+  f.host.run_for(5 * sec);  // let loadavg build up
+  container::ContainerConfig config;
+  config.name = "omp";
+  config.enable_resource_view = false;
+  auto& c = f.runtime.run(config);
+  OmpProcess p(f.host, c, TeamStrategy::kDynamic, f.tiny());
+  f.run_to_completion(p);
+  ASSERT_FALSE(p.team_size_trace().empty());
+  for (const int team : p.team_size_trace()) {
+    EXPECT_LT(team, 8);
+  }
+}
+
+TEST(OmpProcess, FixedTeamRespected) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  OmpProcess p(f.host, c, TeamStrategy::kFixed, f.tiny(), 3);
+  f.run_to_completion(p);
+  for (const int team : p.team_size_trace()) {
+    EXPECT_EQ(team, 3);
+  }
+}
+
+TEST(OmpProcess, OverthreadedTeamIsSlower) {
+  // One container limited to 2 CPUs: a 16-thread team (static, host view)
+  // must lose to a 2-thread team (adaptive) on the same workload.
+  auto run_with = [](TeamStrategy strategy, bool view) {
+    Fixture f(16);
+    container::ContainerConfig config;
+    config.cfs_quota_us = 200000;  // 2 CPUs
+    config.enable_resource_view = view;
+    auto& c = f.runtime.run(config);
+    OmpWorkload w;
+    w.regions = 10;
+    w.region_work = 100 * msec;
+    w.serial_frac = 0.05;
+    OmpProcess p(f.host, c, strategy, w);
+    f.host.engine().run_until([&] { return p.finished(); }, 3600 * sec);
+    return p.stats().exec_time();
+  };
+  const SimDuration oblivious = run_with(TeamStrategy::kStatic, false);
+  const SimDuration adaptive = run_with(TeamStrategy::kAdaptive, true);
+  EXPECT_LT(adaptive, oblivious);
+}
+
+TEST(OmpProcess, RunnableThreadsTrackPhase) {
+  Fixture f;
+  auto& c = f.runtime.run({});
+  OmpProcess p(f.host, c, TeamStrategy::kFixed, f.tiny(), 4);
+  EXPECT_EQ(p.runnable_threads(), 1);  // serial prologue
+  f.run_to_completion(p);
+  EXPECT_EQ(p.runnable_threads(), 0);
+}
+
+}  // namespace
+}  // namespace arv::omp

@@ -1,0 +1,169 @@
+#include "src/proc/process.h"
+
+#include <gtest/gtest.h>
+
+namespace arv::proc {
+namespace {
+
+TEST(PidNamespace, AssignsSequentialVpids) {
+  PidNamespace ns;
+  EXPECT_EQ(ns.assign_vpid(100), 1);
+  EXPECT_EQ(ns.assign_vpid(200), 2);
+  EXPECT_EQ(ns.vpid_of(100), 1);
+  EXPECT_EQ(ns.host_of(2), 200);
+}
+
+TEST(PidNamespace, RemoveAndUnknownLookups) {
+  PidNamespace ns;
+  ns.assign_vpid(100);
+  ns.remove(100);
+  EXPECT_EQ(ns.vpid_of(100), -1);
+  EXPECT_EQ(ns.host_of(1), -1);
+  EXPECT_EQ(ns.size(), 0u);
+  ns.remove(999);  // no-op
+}
+
+TEST(ProcessTable, HostInitExists) {
+  ProcessTable table;
+  EXPECT_TRUE(table.alive(kHostInit));
+  EXPECT_EQ(table.get(kHostInit).comm, "init");
+  EXPECT_EQ(table.live_count(), 1u);
+}
+
+TEST(ProcessTable, ForkInheritsCgroupAndComm) {
+  ProcessTable table;
+  const Pid child = table.fork(kHostInit);
+  EXPECT_TRUE(table.alive(child));
+  EXPECT_EQ(table.get(child).parent, kHostInit);
+  EXPECT_EQ(table.get(child).cgroup, cgroup::kRootCgroup);
+  table.set_cgroup(child, 7);
+  const Pid grandchild = table.fork(child);
+  EXPECT_EQ(table.get(grandchild).cgroup, 7);
+}
+
+TEST(ProcessTable, ExecveRenames) {
+  ProcessTable table;
+  const Pid p = table.fork(kHostInit);
+  table.execve(p, "java");
+  EXPECT_EQ(table.get(p).comm, "java");
+}
+
+TEST(ProcessTable, ExitReparentsChildren) {
+  ProcessTable table;
+  const Pid parent = table.fork(kHostInit);
+  const Pid child = table.fork(parent);
+  table.exit(parent);
+  EXPECT_FALSE(table.alive(parent));
+  EXPECT_EQ(table.get(child).parent, kHostInit);
+}
+
+TEST(ProcessTable, PidNamespaceMembershipOnFork) {
+  ProcessTable table;
+  const Pid boot = table.fork(kHostInit);
+  table.set_namespace(boot, std::make_shared<PidNamespace>());
+  const auto ns = std::dynamic_pointer_cast<PidNamespace>(
+      table.namespace_of(boot, Namespace::Kind::kPid));
+  ASSERT_NE(ns, nullptr);
+  EXPECT_EQ(ns->vpid_of(boot), 1);  // creator is vpid 1
+  const Pid child = table.fork(boot);
+  EXPECT_EQ(ns->vpid_of(child), 2);
+}
+
+TEST(ProcessTable, ExitRemovesFromPidNamespace) {
+  ProcessTable table;
+  const Pid boot = table.fork(kHostInit);
+  table.set_namespace(boot, std::make_shared<PidNamespace>());
+  const Pid child = table.fork(boot);
+  const auto ns = std::dynamic_pointer_cast<PidNamespace>(
+      table.namespace_of(boot, Namespace::Kind::kPid));
+  table.exit(child);
+  EXPECT_EQ(ns->vpid_of(child), -1);
+}
+
+TEST(ProcessTable, NamespaceOwnershipTransfersOnExecAfterOwnerDeath) {
+  // The §3.2 scenario: bootstrap init creates the namespace, forks the
+  // workload, dies; the workload's exec() must take over ownership.
+  ProcessTable table;
+  const Pid boot = table.fork(kHostInit);
+  auto ns = std::make_shared<PidNamespace>();
+  table.set_namespace(boot, ns);
+  EXPECT_EQ(ns->owner(), boot);
+
+  const Pid workload = table.fork(boot);
+  table.exit(boot);
+  EXPECT_EQ(ns->owner(), boot);  // still the dead task, pre-exec
+  table.execve(workload, "app");
+  EXPECT_EQ(ns->owner(), workload);  // transferred
+}
+
+TEST(ProcessTable, ExecDoesNotStealFromLiveOwner) {
+  ProcessTable table;
+  const Pid boot = table.fork(kHostInit);
+  auto ns = std::make_shared<PidNamespace>();
+  table.set_namespace(boot, ns);
+  const Pid workload = table.fork(boot);
+  table.execve(workload, "app");  // boot still alive
+  EXPECT_EQ(ns->owner(), boot);
+}
+
+TEST(ProcessTable, InContainerRequiresSysNamespace) {
+  ProcessTable table;
+  const Pid p = table.fork(kHostInit);
+  EXPECT_FALSE(table.in_container(p));
+  // Any Namespace of kind kSys flips the predicate. Use a plain Namespace.
+  class SysNs : public Namespace {
+   public:
+    SysNs() : Namespace(Kind::kSys) {}
+  };
+  table.set_namespace(p, std::make_shared<SysNs>());
+  EXPECT_TRUE(table.in_container(p));
+  // Children inherit containment.
+  const Pid child = table.fork(p);
+  EXPECT_TRUE(table.in_container(child));
+  EXPECT_FALSE(table.in_container(kHostInit));
+}
+
+TEST(ProcessTable, TasksInCgroupListsLiveOnly) {
+  ProcessTable table;
+  const Pid a = table.fork(kHostInit);
+  const Pid b = table.fork(kHostInit);
+  table.set_cgroup(a, 3);
+  table.set_cgroup(b, 3);
+  table.exit(b);
+  const auto tasks = table.tasks_in_cgroup(3);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0], a);
+}
+
+TEST(ProcessTable, ChildrenOfSkipsDead) {
+  ProcessTable table;
+  const Pid parent = table.fork(kHostInit);
+  const Pid c1 = table.fork(parent);
+  const Pid c2 = table.fork(parent);
+  table.exit(c1);
+  const auto children = table.children_of(parent);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], c2);
+}
+
+TEST(ProcessTableDeath, ForkFromDeadParentAborts) {
+  ProcessTable table;
+  const Pid p = table.fork(kHostInit);
+  table.exit(p);
+  EXPECT_DEATH(table.fork(p), "dead");
+}
+
+TEST(ProcessTableDeath, DoubleExitAborts) {
+  ProcessTable table;
+  const Pid p = table.fork(kHostInit);
+  table.exit(p);
+  EXPECT_DEATH(table.exit(p), "double exit");
+}
+
+TEST(ProcessTableDeath, HostInitCannotExit) {
+  ProcessTable table;
+  EXPECT_DEATH(table.exit(kHostInit), "host init");
+}
+
+}  // namespace
+}  // namespace arv::proc

@@ -1,0 +1,149 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace arv::sim {
+namespace {
+
+class Recorder : public TickComponent {
+ public:
+  explicit Recorder(std::string tag, std::vector<std::string>* log)
+      : tag_(std::move(tag)), log_(log) {}
+  void tick(SimTime now, SimDuration) override {
+    log_->push_back(tag_ + "@" + std::to_string(now));
+    ticks_ += 1;
+  }
+  std::string name() const override { return tag_; }
+  int ticks() const { return ticks_; }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+  int ticks_ = 0;
+};
+
+TEST(Engine, ClockAdvancesByTick) {
+  Engine engine(1000);
+  EXPECT_EQ(engine.now(), 0);
+  engine.step();
+  EXPECT_EQ(engine.now(), 1000);
+  engine.step();
+  EXPECT_EQ(engine.now(), 2000);
+  EXPECT_EQ(engine.ticks_executed(), 2u);
+}
+
+TEST(Engine, RunForRoundsUpToWholeTicks) {
+  Engine engine(1000);
+  engine.run_for(2500);
+  EXPECT_EQ(engine.now(), 3000);
+}
+
+TEST(Engine, ComponentsTickInRegistrationOrder) {
+  Engine engine(1000);
+  std::vector<std::string> log;
+  Recorder a("a", &log);
+  Recorder b("b", &log);
+  engine.add_component(&a);
+  engine.add_component(&b);
+  engine.step();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "a@1000");
+  EXPECT_EQ(log[1], "b@1000");
+}
+
+TEST(Engine, RemoveComponentStopsTicks) {
+  Engine engine(1000);
+  std::vector<std::string> log;
+  Recorder a("a", &log);
+  engine.add_component(&a);
+  engine.step();
+  engine.remove_component(&a);
+  engine.step();
+  EXPECT_EQ(a.ticks(), 1);
+}
+
+TEST(Engine, EventsFireAtDueTick) {
+  Engine engine(1000);
+  std::vector<SimTime> fired;
+  engine.schedule_at(1500, [&] { fired.push_back(engine.now()); });
+  engine.step();  // now = 1000, event not yet due
+  EXPECT_TRUE(fired.empty());
+  engine.step();  // now = 2000 >= 1500
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 2000);
+}
+
+TEST(Engine, EventsFireInTimeThenFifoOrder) {
+  Engine engine(1000);
+  std::vector<int> order;
+  engine.schedule_at(900, [&] { order.push_back(2); });
+  engine.schedule_at(500, [&] { order.push_back(1); });
+  engine.schedule_at(900, [&] { order.push_back(3); });
+  engine.step();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EventMayScheduleFurtherEvents) {
+  Engine engine(1000);
+  int fired = 0;
+  engine.schedule_after(500, [&] {
+    ++fired;
+    engine.schedule_after(1000, [&] { ++fired; });
+  });
+  engine.run_for(3000);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine engine(1000);
+  engine.run_for(5000);
+  SimTime seen = -1;
+  engine.schedule_after(2000, [&] { seen = engine.now(); });
+  engine.run_for(3000);
+  EXPECT_EQ(seen, 7000);
+}
+
+TEST(Engine, RunUntilPredicate) {
+  Engine engine(1000);
+  int counter = 0;
+  engine.schedule_at(4000, [&] { counter = 1; });
+  const bool hit = engine.run_until([&] { return counter == 1; }, 100000);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(engine.now(), 4000);
+}
+
+TEST(Engine, RunUntilDeadlineExpires) {
+  Engine engine(1000);
+  const bool hit = engine.run_until([] { return false; }, 5000);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(engine.now(), 5000);
+}
+
+TEST(Engine, PendingEventsCount) {
+  Engine engine(1000);
+  engine.schedule_at(10000, [] {});
+  engine.schedule_at(20000, [] {});
+  EXPECT_EQ(engine.pending_events(), 2u);
+  engine.run_for(10000);
+  EXPECT_EQ(engine.pending_events(), 1u);
+}
+
+TEST(Engine, SelfReschedulingTimerPattern) {
+  Engine engine(1000);
+  int fires = 0;
+  std::function<void()> reschedule = [&] {
+    ++fires;
+    if (fires < 5) {
+      engine.schedule_after(2000, reschedule);
+    }
+  };
+  engine.schedule_after(2000, reschedule);
+  engine.run_for(20000);
+  EXPECT_EQ(fires, 5);
+}
+
+}  // namespace
+}  // namespace arv::sim

@@ -1,0 +1,33 @@
+// Shared test double: a Schedulable with a fixed thread count that just
+// accumulates its grants.
+#pragma once
+
+#include "src/sched/fair_scheduler.h"
+
+namespace arv::testing {
+
+class FakeConsumer : public sched::Schedulable {
+ public:
+  explicit FakeConsumer(int threads) : threads_(threads) {}
+
+  int runnable_threads() const override { return threads_; }
+
+  void consume(SimTime /*now*/, SimDuration /*dt*/, CpuTime grant) override {
+    total_ += grant;
+    last_ = grant;
+    ++consume_calls_;
+  }
+
+  CpuTime total() const { return total_; }
+  CpuTime last() const { return last_; }
+  int consume_calls() const { return consume_calls_; }
+  void set_threads(int threads) { threads_ = threads; }
+
+ private:
+  int threads_;
+  CpuTime total_ = 0;
+  CpuTime last_ = 0;
+  int consume_calls_ = 0;
+};
+
+}  // namespace arv::testing

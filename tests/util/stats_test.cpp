@@ -1,0 +1,117 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace arv {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(Ema, FirstSamplePrimes) {
+  Ema ema(0.9);
+  EXPECT_FALSE(ema.primed());
+  ema.add(10.0);
+  EXPECT_TRUE(ema.primed());
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+}
+
+TEST(Ema, ConvergesTowardConstant) {
+  Ema ema(0.9);
+  ema.add(0.0);
+  for (int i = 0; i < 200; ++i) {
+    ema.add(100.0);
+  }
+  EXPECT_NEAR(ema.value(), 100.0, 0.01);
+}
+
+TEST(Ema, DecayControlsMemory) {
+  Ema fast(0.5);
+  Ema slow(0.99);
+  fast.add(0.0);
+  slow.add(0.0);
+  for (int i = 0; i < 10; ++i) {
+    fast.add(100.0);
+    slow.add(100.0);
+  }
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ema, Reset) {
+  Ema ema(0.9);
+  ema.add(42.0);
+  ema.reset();
+  EXPECT_FALSE(ema.primed());
+  EXPECT_EQ(ema.value(), 0.0);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(Percentile, SingleElement) { EXPECT_EQ(percentile({7.0}, 99.0), 7.0); }
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // sorted: 10, 20; p50 -> halfway
+  EXPECT_DOUBLE_EQ(percentile({20.0, 10.0}, 50.0), 15.0);
+}
+
+}  // namespace
+}  // namespace arv

@@ -1,0 +1,70 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace arv {
+namespace {
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(Table, HeaderSeparatorPresent) {
+  Table t({"x"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, AddRowValuesFormatsPrecision) {
+  Table t({"a", "b"});
+  t.add_row_values({1.23456, 2.0}, 3);
+  const std::string out = t.to_csv();
+  EXPECT_NE(out.find("1.235,2.000"), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"h1", "h2"});
+  t.add_row({"a", "b"});
+  EXPECT_EQ(t.to_csv(), "h1,h2\na,b\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"h"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string out = t.to_csv();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(FormatBytes, Plain) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(0), "0B");
+}
+
+TEST(FormatBytes, Scaled) {
+  EXPECT_EQ(format_bytes(1024), "1.00KiB");
+  EXPECT_EQ(format_bytes(1536), "1.50KiB");
+  EXPECT_EQ(format_bytes(3LL * 1024 * 1024 * 1024), "3.00GiB");
+}
+
+TEST(FormatDuration, Microseconds) { EXPECT_EQ(format_duration_us(900), "900us"); }
+
+TEST(FormatDuration, Milliseconds) { EXPECT_EQ(format_duration_us(2500), "2.50ms"); }
+
+TEST(FormatDuration, Seconds) { EXPECT_EQ(format_duration_us(1500000), "1.50s"); }
+
+}  // namespace
+}  // namespace arv

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "src/workloads/dockerhub.h"
+#include "src/workloads/hogs.h"
+#include "src/workloads/java_suites.h"
+#include "src/workloads/npb.h"
+
+namespace arv::workloads {
+namespace {
+
+using namespace arv::units;
+
+TEST(JavaSuites, DacapoHasThePaperBenchmarks) {
+  const auto suite = dacapo_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  const char* expected[] = {"h2", "jython", "lusearch", "sunflow", "xalan"};
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, expected[i]);
+  }
+}
+
+TEST(JavaSuites, SpecjvmHasThePaperBenchmarks) {
+  const auto suite = specjvm_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "compiler.compiler");
+  EXPECT_EQ(suite[2].name, "mpegaudio");
+}
+
+TEST(JavaSuites, HibenchHasThePaperBenchmarks) {
+  const auto suite = hibench_suite();
+  ASSERT_EQ(suite.size(), 4u);
+  for (const auto& w : suite) {
+    EXPECT_GE(w.live_set, 2 * GiB);  // big-data scale
+  }
+}
+
+TEST(JavaSuites, AllParametersSane) {
+  for (const auto& suite : {dacapo_suite(), specjvm_suite(), hibench_suite()}) {
+    for (const auto& w : suite) {
+      EXPECT_GT(w.total_work, 0) << w.name;
+      EXPECT_GE(w.mutator_threads, 1) << w.name;
+      EXPECT_GT(w.alloc_per_cpu_sec, 0) << w.name;
+      EXPECT_GT(w.live_set, 0) << w.name;
+      EXPECT_GT(w.survival_ratio, 0.0) << w.name;
+      EXPECT_LT(w.survival_ratio, 1.0) << w.name;
+      EXPECT_GE(w.gc_alpha, 0.0) << w.name;
+      EXPECT_GT(min_heap_of(w), w.live_set) << w.name;
+    }
+  }
+}
+
+TEST(JavaSuites, H2IsTheOomCandidate) {
+  // Figure 2(b)/11: h2's live set must exceed a 256 MiB JDK-9 heap but fit
+  // under a 1 GiB hard limit.
+  const auto h2 = find_java_workload("h2");
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_GT(h2->live_set, 256 * MiB);
+  EXPECT_LT(h2->live_set, 1 * GiB);
+}
+
+TEST(JavaSuites, LusearchAndXalanAreAllocationHeavy) {
+  const auto lusearch = find_java_workload("lusearch");
+  const auto h2 = find_java_workload("h2");
+  ASSERT_TRUE(lusearch && h2);
+  EXPECT_GT(lusearch->alloc_per_cpu_sec, 4 * h2->alloc_per_cpu_sec);
+}
+
+TEST(JavaSuites, FindUnknownReturnsNullopt) {
+  EXPECT_FALSE(find_java_workload("not-a-benchmark").has_value());
+}
+
+TEST(JavaSuites, MicrobenchMatchesPaperShape) {
+  const auto w = alloc_microbench();
+  EXPECT_DOUBLE_EQ(w.live_fraction_of_alloc, 0.5);
+  // ~40 GiB allocated over the run.
+  const Bytes allocated = w.total_work / units::sec * w.alloc_per_cpu_sec;
+  EXPECT_NEAR(static_cast<double>(allocated), static_cast<double>(40 * GiB),
+              static_cast<double>(2 * GiB));
+}
+
+TEST(Npb, SuiteHasNineKernels) {
+  const auto suite = npb_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  const char* expected[] = {"is", "ep", "cg", "mg", "ft", "ua", "bt", "sp", "lu"};
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, expected[i]);
+  }
+}
+
+TEST(Npb, EpIsEmbarrassinglyParallel) {
+  const auto ep = find_npb("ep");
+  ASSERT_TRUE(ep.has_value());
+  for (const auto& w : npb_suite()) {
+    if (w.name != "ep") {
+      EXPECT_LT(ep->serial_frac, w.serial_frac) << w.name;
+      EXPECT_LT(ep->alpha, w.alpha) << w.name;
+    }
+  }
+}
+
+TEST(Npb, FindUnknownReturnsNullopt) { EXPECT_FALSE(find_npb("zz").has_value()); }
+
+TEST(Dockerhub, ExactlyOneHundredImages) {
+  EXPECT_EQ(dockerhub_top100().size(), 100u);
+}
+
+TEST(Dockerhub, SixtyTwoAffected) { EXPECT_EQ(total_affected(), 62); }
+
+TEST(Dockerhub, AllJavaAndPhpAffected) {
+  for (const auto& image : dockerhub_top100()) {
+    if (image.language == Language::kJava || image.language == Language::kPhp) {
+      EXPECT_TRUE(image.affected) << image.name;
+    }
+  }
+}
+
+TEST(Dockerhub, MajorityOfCppAffected) {
+  const auto counts = count_by_language();
+  const auto& cpp = counts.at(Language::kCpp);
+  EXPECT_GT(cpp.affected, cpp.unaffected);
+}
+
+TEST(Dockerhub, HalfOfCAffected) {
+  const auto counts = count_by_language();
+  const auto& c = counts.at(Language::kC);
+  EXPECT_EQ(c.affected, c.unaffected);
+}
+
+TEST(Dockerhub, AffectedImagesDocumentTheirProbe) {
+  for (const auto& image : dockerhub_top100()) {
+    if (image.affected) {
+      EXPECT_FALSE(image.probe.empty()) << image.name;
+    } else {
+      EXPECT_TRUE(image.probe.empty()) << image.name;
+    }
+  }
+}
+
+TEST(Dockerhub, SevenLanguagesCovered) {
+  EXPECT_EQ(count_by_language().size(), 7u);
+}
+
+TEST(CpuHog, BurnsBudgetThenIdles) {
+  container::HostConfig hc;
+  hc.cpus = 4;
+  hc.ram = 4 * GiB;
+  container::Host host(hc);
+  container::ContainerRuntime runtime(host);
+  auto& c = runtime.run({});
+  workloads::CpuHog hog(host, c, 2, 1 * sec);
+  EXPECT_EQ(hog.runnable_threads(), 2);
+  host.engine().run_until([&] { return hog.finished(); }, 60 * sec);
+  EXPECT_TRUE(hog.finished());
+  EXPECT_EQ(hog.runnable_threads(), 0);
+  // 2 threads at full speed: ~0.5s wall.
+  EXPECT_NEAR(static_cast<double>(hog.finish_time()), 0.5e6, 0.05e6);
+}
+
+TEST(MemHog, ChargesUpToFootprint) {
+  container::HostConfig hc;
+  hc.cpus = 2;
+  hc.ram = 4 * GiB;
+  container::Host host(hc);
+  container::ContainerRuntime runtime(host);
+  auto& c = runtime.run({});
+  workloads::MemHog hog(host, c, 1 * GiB, 2 * GiB);
+  host.run_for(3 * sec);
+  EXPECT_NEAR(static_cast<double>(hog.charged()), static_cast<double>(1 * GiB),
+              static_cast<double>(64 * MiB));
+  EXPECT_EQ(host.memory().usage(c.cgroup()), hog.charged());
+}
+
+}  // namespace
+}  // namespace arv::workloads
