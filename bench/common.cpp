@@ -1,13 +1,48 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 namespace arv::bench {
+
+std::optional<std::string> trace_dump_dir() {
+  const char* dir = std::getenv("ARV_TRACE_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return std::nullopt;
+  }
+  return std::string(dir);
+}
+
+void maybe_dump_trace(const container::Host& host, const std::string& label) {
+  const auto dir = trace_dump_dir();
+  if (!dir.has_value() || host.trace() == nullptr) {
+    return;
+  }
+  std::string slug = label;
+  for (char& c : slug) {
+    if (c == '/' || c == ' ') {
+      c = '_';
+    }
+  }
+  const std::string base = *dir + "/" + slug;
+  std::ofstream csv(base + ".csv");
+  csv << host.trace()->to_csv();
+  std::ofstream json(base + ".json");
+  json << host.trace()->to_json();
+  if (!csv || !json) {
+    std::fprintf(stderr, "trace: cannot write %s.{csv,json} — does %s exist?\n",
+                 base.c_str(), dir->c_str());
+    return;
+  }
+  std::printf("trace: %s.{csv,json} (%zu samples, %zu series)\n", base.c_str(),
+              host.trace()->sample_count(), host.trace()->series_count());
+}
 
 ColocatedResult run_colocated(
     const jvm::JavaWorkload& workload, const jvm::JvmFlags& flags, int n,
     const std::function<void(int, container::ContainerConfig&)>& tweak,
-    SimDuration deadline) {
+    SimDuration deadline, const std::string& trace_label) {
   harness::JvmScenario scenario(paper_host());
   for (int i = 0; i < n; ++i) {
     harness::JvmInstanceConfig config;
@@ -20,6 +55,9 @@ ColocatedResult run_colocated(
     scenario.add(config);
   }
   scenario.run(deadline);
+  if (!trace_label.empty()) {
+    maybe_dump_trace(scenario.host(), trace_label);
+  }
 
   ColocatedResult result;
   for (const auto& run : scenario.results()) {

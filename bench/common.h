@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,11 +23,26 @@ namespace arv::bench {
 
 using namespace arv::units;
 
+/// Where figure runs dump their full traces: the ARV_TRACE_DIR environment
+/// variable, or nullopt when unset/empty (tracing then stays off).
+std::optional<std::string> trace_dump_dir();
+
+/// Writes <ARV_TRACE_DIR>/<label>.csv and .json for a traced host; no-op
+/// when ARV_TRACE_DIR is unset or the host was built without tracing.
+void maybe_dump_trace(const container::Host& host, const std::string& label);
+
 /// The paper's testbed (§5.1): PowerEdge R730, dual 10-core Xeon, 128 GB.
+/// Tracing is enabled (100 ms sampling) iff ARV_TRACE_DIR is set — the
+/// observability layer is observation-only, so figure results are identical
+/// either way.
 inline container::HostConfig paper_host() {
   container::HostConfig config;
   config.cpus = 20;
   config.ram = 128 * GiB;
+  if (trace_dump_dir().has_value()) {
+    config.enable_tracing = true;
+    config.trace.sample_interval = 100 * msec;
+  }
   return config;
 }
 
@@ -40,10 +56,11 @@ struct ColocatedResult {
 
 /// Runs `n` identical containers, each executing `workload` under `flags`.
 /// `tweak` may adjust each container config (limits, cpusets, view on/off).
+/// A non-empty `trace_label` dumps the run's trace (see maybe_dump_trace).
 ColocatedResult run_colocated(
     const jvm::JavaWorkload& workload, const jvm::JvmFlags& flags, int n,
     const std::function<void(int, container::ContainerConfig&)>& tweak = {},
-    SimDuration deadline = 7200 * sec);
+    SimDuration deadline = 7200 * sec, const std::string& trace_label = {});
 
 /// Shorthand for the §5.1 heap sizing rule (-Xmx = 3x min heap).
 inline Bytes paper_xmx(const jvm::JavaWorkload& w) { return 3 * jvm::min_heap_of(w); }

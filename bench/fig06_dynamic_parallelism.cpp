@@ -33,9 +33,13 @@ Fig6Row run_fig6(const jvm::JavaWorkload& w) {
                         .dynamic_gc_threads = true,
                         .xmx = paper_xmx(w)};
   jvm::JvmFlags adaptive{.kind = jvm::JvmKind::kAdaptive, .xmx = paper_xmx(w)};
-  row.vanilla = run_colocated(w, vanilla, 5, stock);
-  row.dynamic = run_colocated(w, dynamic, 5, stock);
-  row.adaptive = run_colocated(w, adaptive, 5);  // resource view on
+  const SimDuration deadline = 7200 * sec;
+  row.vanilla = run_colocated(w, vanilla, 5, stock, deadline,
+                              "fig6_" + w.name + "_vanilla");
+  row.dynamic = run_colocated(w, dynamic, 5, stock, deadline,
+                              "fig6_" + w.name + "_dynamic");
+  row.adaptive = run_colocated(w, adaptive, 5, {}, deadline,  // view on
+                               "fig6_" + w.name + "_adaptive");
   return row;
 }
 

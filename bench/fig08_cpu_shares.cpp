@@ -19,7 +19,8 @@ struct Fig8Run {
   std::vector<jvm::GcThreadSample> trace;
 };
 
-Fig8Run run_fig8(const jvm::JavaWorkload& w, jvm::JvmFlags flags, bool view) {
+Fig8Run run_fig8(const jvm::JavaWorkload& w, jvm::JvmFlags flags, bool view,
+                 const std::string& trace_label = {}) {
   harness::JvmScenario scenario(paper_host());
   // The sysbench co-runners start first and retire one by one while the
   // benchmark is still running, freeing CPUs mid-flight.
@@ -34,6 +35,9 @@ Fig8Run run_fig8(const jvm::JavaWorkload& w, jvm::JvmFlags flags, bool view) {
   config.workload = w;
   const auto idx = scenario.add(config);
   scenario.run(7200 * sec);
+  if (!trace_label.empty()) {
+    maybe_dump_trace(scenario.host(), trace_label);
+  }
   return {scenario.jvm(idx).stats(), scenario.jvm(idx).gc_thread_trace()};
 }
 
@@ -61,10 +65,13 @@ void print_fig8b() {
   print_header("Figure 8(b)",
                "GC threads across collections, sunflow (CSV: index,vanilla,jvm10,adaptive)");
   const auto w = workloads::dacapo_suite()[3];  // sunflow
-  const auto vanilla = run_fig8(
-      w, {.kind = jvm::JvmKind::kVanilla8, .dynamic_gc_threads = false}, false);
-  const auto jvm10 = run_fig8(w, {.kind = jvm::JvmKind::kJdk10}, false);
-  const auto adaptive = run_fig8(w, {.kind = jvm::JvmKind::kAdaptive}, true);
+  const auto vanilla =
+      run_fig8(w, {.kind = jvm::JvmKind::kVanilla8, .dynamic_gc_threads = false},
+               false, "fig8_" + w.name + "_vanilla");
+  const auto jvm10 =
+      run_fig8(w, {.kind = jvm::JvmKind::kJdk10}, false, "fig8_" + w.name + "_jvm10");
+  const auto adaptive = run_fig8(w, {.kind = jvm::JvmKind::kAdaptive}, true,
+                                 "fig8_" + w.name + "_adaptive");
   const std::size_t n = std::max(
       {vanilla.trace.size(), jvm10.trace.size(), adaptive.trace.size()});
   auto at = [](const std::vector<jvm::GcThreadSample>& trace, std::size_t i) {

@@ -51,12 +51,14 @@ void print_series(const std::vector<jvm::HeapSample>& samples) {
   }
 }
 
-void run_single(bool elastic, const char* figure, const char* label) {
+void run_single(bool elastic, const char* figure, const char* label,
+                const char* trace_label) {
   print_header(figure, label);
   harness::JvmScenario scenario(paper_host());
   const auto idx = scenario.add(micro_config("solo", elastic));
   harness::HeapTimeline timeline(scenario.host(), scenario.jvm(idx), 2 * sec);
   const bool done = scenario.try_run(14400 * sec);
+  maybe_dump_trace(scenario.host(), trace_label);
   print_series(timeline.samples());
   const auto& stats = scenario.jvm(idx).stats();
   std::printf("completed=%s exec=%.1fs minor_gcs=%d major_gcs=%d\n",
@@ -65,7 +67,8 @@ void run_single(bool elastic, const char* figure, const char* label) {
               stats.major_gcs);
 }
 
-void run_five(bool elastic, const char* figure, const char* label) {
+void run_five(bool elastic, const char* figure, const char* label,
+              const char* trace_label) {
   print_header(figure, label);
   harness::JvmScenario scenario(paper_host());
   std::vector<std::size_t> ids;
@@ -74,6 +77,7 @@ void run_five(bool elastic, const char* figure, const char* label) {
   }
   harness::HeapTimeline timeline(scenario.host(), scenario.jvm(ids[0]), 2 * sec);
   const bool done = scenario.try_run(elastic ? 14400 * sec : 1200 * sec);
+  maybe_dump_trace(scenario.host(), trace_label);
   print_series(timeline.samples());
   int completed = 0;
   double committed_total = 0;
@@ -92,10 +96,14 @@ void run_five(bool elastic, const char* figure, const char* label) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_single(false, "Figure 12(a)", "single container, vanilla JVM");
-  run_single(true, "Figure 12(b)", "single container, elastic JVM");
-  run_five(true, "Figure 12(c)", "five containers, elastic JVMs");
-  run_five(false, "Figure 12(+)", "five containers, vanilla JVMs (paper: none complete)");
+  run_single(false, "Figure 12(a)", "single container, vanilla JVM",
+             "fig12a_vanilla_single");
+  run_single(true, "Figure 12(b)", "single container, elastic JVM",
+             "fig12b_elastic_single");
+  run_five(true, "Figure 12(c)", "five containers, elastic JVMs",
+           "fig12c_elastic_five");
+  run_five(false, "Figure 12(+)", "five containers, vanilla JVMs (paper: none complete)",
+           "fig12x_vanilla_five");
   std::printf(
       "\npaper shape: (a) vanilla expands straight to the 30 GiB hard limit;\n"
       "(b) elastic starts low and ramps with effective memory, converging to\n"

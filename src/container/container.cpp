@@ -47,6 +47,22 @@ Container::Container(Host& host, const ContainerConfig& config)
     ARV_ASSERT_MSG(view_->owner() == init_pid_,
                    "sys_namespace ownership must transfer to the new init");
   }
+
+  // 3. Per-container consumption series. Probes read through Host (which
+  // outlives every container), so a stopped container's columns simply
+  // flatline instead of dangling.
+  if (obs::TraceRecorder* trace = host_.trace()) {
+    Host* h = &host_;
+    const cgroup::CgroupId cg = cgroup_;
+    trace->add_counter("cpu_usage", config_.name,
+                       [h, cg] { return h->scheduler().total_usage(cg); });
+    trace->add_counter("cpu_throttled", config_.name,
+                       [h, cg] { return h->scheduler().throttled_time(cg); });
+    trace->add_gauge("mem_usage", config_.name,
+                     [h, cg] { return h->memory().usage(cg); });
+    trace->add_gauge("mem_swapped", config_.name,
+                     [h, cg] { return h->memory().swapped(cg); });
+  }
   running_ = true;
 }
 

@@ -22,6 +22,18 @@ Host::Host(const HostConfig& config)
   engine_.add_component(&scheduler_);
   engine_.add_component(&memory_);
   engine_.add_component(&monitor_);
+  if (config.enable_tracing) {
+    trace_ = std::make_unique<obs::TraceRecorder>(config.trace);
+    trace_->add_counter("sim.ticks", "", [this] {
+      return static_cast<std::int64_t>(engine_.ticks_executed());
+    });
+    scheduler_.register_trace(*trace_);
+    memory_.register_trace(*trace_);
+    monitor_.set_trace(trace_.get());
+    sysfs_.attach_trace(trace_.get());
+    // Registered last: samples see the tick's fully-updated state.
+    engine_.add_component(trace_.get());
+  }
 }
 
 }  // namespace arv::container

@@ -11,6 +11,7 @@
 #include "src/cgroup/cgroup.h"
 #include "src/core/ns_monitor.h"
 #include "src/mem/memory_manager.h"
+#include "src/obs/trace_recorder.h"
 #include "src/proc/process.h"
 #include "src/sched/fair_scheduler.h"
 #include "src/sim/engine.h"
@@ -23,6 +24,11 @@ struct HostConfig {
   Bytes ram = 128 * units::GiB;         ///< the paper's testbed memory
   mem::Config mem;                      ///< total_ram is overwritten from `ram`
   SimDuration tick = 1 * units::msec;
+  /// Attach the observability layer: every kernel subsystem registers its
+  /// series with a TraceRecorder that samples after the Ns_Monitor each
+  /// tick. Off by default — tracing must never change behaviour either way.
+  bool enable_tracing = false;
+  obs::TraceConfig trace;               ///< sampling cadence when tracing
 };
 
 class Host {
@@ -39,6 +45,10 @@ class Host {
   core::NsMonitor& monitor() { return monitor_; }
   vfs::VirtualSysfs& sysfs() { return sysfs_; }
 
+  /// The trace recorder, or nullptr when tracing is disabled.
+  obs::TraceRecorder* trace() { return trace_.get(); }
+  const obs::TraceRecorder* trace() const { return trace_.get(); }
+
   int cpus() const { return config_.cpus; }
   SimTime now() const { return engine_.now(); }
   void run_for(SimDuration duration) { engine_.run_for(duration); }
@@ -52,6 +62,7 @@ class Host {
   proc::ProcessTable processes_;
   core::NsMonitor monitor_;
   vfs::VirtualSysfs sysfs_;
+  std::unique_ptr<obs::TraceRecorder> trace_;  ///< null when tracing is off
 };
 
 }  // namespace arv::container

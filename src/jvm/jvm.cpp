@@ -32,11 +32,35 @@ Jvm::Jvm(container::Host& host, container::Container& target, JvmFlags flags,
   next_heap_poll_ = host_.now() + flags_.heap_poll_interval;
   host_.scheduler().attach(container_.cgroup(), this);
   attached_ = true;
+
+  if ((trace_ = host_.trace()) != nullptr) {
+    const std::string& scope = container_.name();
+    trace_handles_.push_back(trace_->add_gauge("jvm.gc_workers", scope, [this] {
+      return state_ == JvmState::kInGc ? gc_.active_workers() : 0;
+    }));
+    trace_handles_.push_back(trace_->add_gauge(
+        "jvm.heap_used", scope, [this] { return heap_->used(); }));
+    trace_handles_.push_back(trace_->add_gauge(
+        "jvm.heap_committed", scope, [this] { return heap_->committed(); }));
+    trace_handles_.push_back(trace_->add_gauge(
+        "jvm.heap_virtual_max", scope, [this] { return heap_->virtual_max(); }));
+    trace_handles_.push_back(trace_->add_counter(
+        "jvm.minor_gcs", scope, [this] { return stats_.minor_gcs; }));
+    trace_handles_.push_back(trace_->add_counter(
+        "jvm.major_gcs", scope, [this] { return stats_.major_gcs; }));
+    trace_handles_.push_back(trace_->add_gauge(
+        "jvm.state", scope, [this] { return static_cast<int>(state_); }));
+  }
 }
 
 Jvm::~Jvm() {
   if (attached_) {
     host_.scheduler().detach(container_.cgroup(), this);
+  }
+  if (trace_ != nullptr) {
+    for (const obs::SeriesHandle handle : trace_handles_) {
+      trace_->retire(handle);
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #include "src/jvm/gc_tasks.h"
 #include "src/jvm/heap.h"
 #include "src/jvm/policy.h"
+#include "src/obs/trace_recorder.h"
 #include "src/sched/fair_scheduler.h"
 
 namespace arv::jvm {
@@ -131,6 +132,8 @@ class Jvm : public sched::Schedulable {
   JvmStats stats_;
   std::vector<GcThreadSample> gc_trace_;
   bool attached_ = false;
+  obs::TraceRecorder* trace_ = nullptr;  ///< host's recorder; may be null
+  std::vector<obs::SeriesHandle> trace_handles_;
 };
 
 }  // namespace arv::jvm

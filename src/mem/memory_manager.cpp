@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/obs/trace_recorder.h"
 #include "src/util/assert.h"
 #include "src/util/log.h"
 
@@ -247,6 +248,21 @@ void MemoryManager::oom_kill_largest() {
   st.oom_killed = true;
   ++oom_kills_;
   ARV_LOG(kWarn, "mem", "global OOM: killed cgroup %d", victim);
+}
+
+void MemoryManager::register_trace(obs::TraceRecorder& trace) const {
+  trace.add_gauge("mem.free", "", [this] { return free_memory(); });
+  trace.add_gauge("mem.kswapd_active", "",
+                  [this] { return kswapd_active_ ? 1 : 0; });
+  trace.add_counter("mem.kswapd_wakeups", "", [this] {
+    return static_cast<std::int64_t>(kswapd_wakeups_);
+  });
+  trace.add_counter("mem.direct_reclaims", "", [this] {
+    return static_cast<std::int64_t>(direct_reclaims_);
+  });
+  trace.add_counter("mem.oom_kills", "",
+                    [this] { return static_cast<std::int64_t>(oom_kills_); });
+  trace.add_gauge("mem.swap_used", "", [this] { return swap_used_; });
 }
 
 void MemoryManager::tick(SimTime /*now*/, SimDuration /*dt*/) {

@@ -21,6 +21,10 @@
 #include "src/sim/engine.h"
 #include "src/util/types.h"
 
+namespace arv::obs {
+class TraceRecorder;
+}
+
 namespace arv::mem {
 
 struct Watermarks {
@@ -98,6 +102,10 @@ class MemoryManager : public sim::TickComponent {
   /// Pin some RAM outside any cgroup (kernel/other-host usage), shrinking
   /// what containers can use. Used by experiments with background pressure.
   void reserve_host_memory(Bytes bytes);
+
+  /// Register host-wide memory series (free memory, kswapd/reclaim/OOM
+  /// activity, swap) with the observability layer. Observation-only.
+  void register_trace(obs::TraceRecorder& trace) const;
 
   // --- sim::TickComponent ---------------------------------------------------
   void tick(SimTime now, SimDuration dt) override;

@@ -1,0 +1,171 @@
+#include "src/obs/trace_recorder.h"
+
+#include "src/util/assert.h"
+
+namespace arv::obs {
+
+TraceRecorder::TraceRecorder(TraceConfig config) : config_(config) {
+  ARV_ASSERT(config.sample_interval >= 0);
+}
+
+SeriesHandle TraceRecorder::add_series(SeriesInfo info, Probe probe) {
+  ARV_ASSERT(probe != nullptr);
+  ARV_ASSERT_MSG(!info.name.empty(), "series name must not be empty");
+  Series series;
+  series.info = std::move(info);
+  series.probe = std::move(probe);
+  // A series registered mid-run backfills zeros so every column has one
+  // value per recorded row.
+  series.values.assign(times_.size(), 0);
+  series_.push_back(std::move(series));
+  return series_.size() - 1;
+}
+
+SeriesHandle TraceRecorder::add_gauge(std::string name, std::string scope,
+                                      Probe probe) {
+  return add_series(SeriesInfo{std::move(name), SeriesKind::kGauge, std::move(scope)},
+                    std::move(probe));
+}
+
+SeriesHandle TraceRecorder::add_counter(std::string name, std::string scope,
+                                        Probe probe) {
+  return add_series(
+      SeriesInfo{std::move(name), SeriesKind::kCounter, std::move(scope)},
+      std::move(probe));
+}
+
+void TraceRecorder::retire(SeriesHandle handle) {
+  ARV_ASSERT(handle < series_.size());
+  series_[handle].probe = nullptr;
+}
+
+void TraceRecorder::tick(SimTime now, SimDuration /*dt*/) {
+  if (now < next_sample_) {
+    return;
+  }
+  sample_now(now);
+  next_sample_ = now + config_.sample_interval;
+}
+
+void TraceRecorder::sample_now(SimTime now) {
+  times_.push_back(now);
+  for (Series& series : series_) {
+    if (series.probe) {
+      series.values.push_back(series.probe());
+    } else {
+      // Retired: repeat the last live value (a finished JVM's final heap
+      // size stays on the chart instead of collapsing to zero).
+      series.values.push_back(series.values.empty() ? 0 : series.values.back());
+    }
+  }
+}
+
+const SeriesInfo& TraceRecorder::info(SeriesHandle handle) const {
+  ARV_ASSERT(handle < series_.size());
+  return series_[handle].info;
+}
+
+const std::vector<std::int64_t>& TraceRecorder::values(SeriesHandle handle) const {
+  ARV_ASSERT(handle < series_.size());
+  return series_[handle].values;
+}
+
+std::string TraceRecorder::qualified_name(SeriesHandle handle) const {
+  ARV_ASSERT(handle < series_.size());
+  const SeriesInfo& info = series_[handle].info;
+  return info.scope.empty() ? info.name : info.scope + "." + info.name;
+}
+
+std::optional<SeriesHandle> TraceRecorder::find(std::string_view qualified) const {
+  for (SeriesHandle h = 0; h < series_.size(); ++h) {
+    if (qualified_name(h) == qualified) {
+      return h;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> TraceRecorder::series_names(std::string_view scope) const {
+  std::vector<std::string> out;
+  for (SeriesHandle h = 0; h < series_.size(); ++h) {
+    if (scope.empty() || series_[h].info.scope == scope) {
+      out.push_back(qualified_name(h));
+    }
+  }
+  return out;
+}
+
+std::int64_t TraceRecorder::latest(SeriesHandle handle) const {
+  ARV_ASSERT(handle < series_.size());
+  const auto& values = series_[handle].values;
+  return values.empty() ? 0 : values.back();
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::string out = "time_us";
+  for (SeriesHandle h = 0; h < series_.size(); ++h) {
+    out += ',';
+    out += qualified_name(h);
+  }
+  out += '\n';
+  for (std::size_t row = 0; row < times_.size(); ++row) {
+    out += std::to_string(times_[row]);
+    for (const Series& series : series_) {
+      out += ',';
+      out += std::to_string(series.values[row]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_json() const {
+  std::string out = "{\"times\":[";
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(times_[i]);
+  }
+  out += "],\"series\":[";
+  for (SeriesHandle h = 0; h < series_.size(); ++h) {
+    if (h > 0) {
+      out += ',';
+    }
+    const Series& series = series_[h];
+    out += "{\"name\":";
+    append_json_string(out, qualified_name(h));
+    out += ",\"kind\":";
+    append_json_string(
+        out, series.info.kind == SeriesKind::kCounter ? "counter" : "gauge");
+    out += ",\"scope\":";
+    append_json_string(out, series.info.scope);
+    out += ",\"values\":[";
+    for (std::size_t i = 0; i < series.values.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += std::to_string(series.values[i]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace arv::obs

@@ -1,0 +1,110 @@
+// TraceRecorder — the observability layer's per-tick sampling core.
+//
+// Components register typed series (gauge or counter, host-wide or scoped to
+// one container) as integer-valued probes; the recorder is itself a
+// sim::TickComponent that the host registers *last*, so every sample sees the
+// post-update state of the tick (scheduler grants -> memory/kswapd ->
+// Ns_Monitor -> sample). Sampling is strictly observation-only: probes read
+// state, the recorder never writes any.
+//
+// Series values are int64 by design — the whole simulation is integer
+// microseconds/bytes, so traces serialize bit-for-bit deterministically and
+// golden-trace diffs are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/util/types.h"
+
+namespace arv::obs {
+
+enum class SeriesKind {
+  kGauge,    ///< point-in-time value (e_cpu, free memory, team size)
+  kCounter,  ///< monotonically non-decreasing (update rounds, cpu usage)
+};
+
+/// A probe reads one value from the owning component. It must be free of
+/// side effects: the recorder may call it once per tick or never.
+using Probe = std::function<std::int64_t()>;
+
+/// Opaque handle identifying a registered series (stable for the recorder's
+/// lifetime; series are never removed, only retired).
+using SeriesHandle = std::size_t;
+
+struct SeriesInfo {
+  std::string name;   ///< short name within the scope, e.g. "e_cpu"
+  SeriesKind kind = SeriesKind::kGauge;
+  std::string scope;  ///< "" = host-wide, else the owning container's name
+};
+
+struct TraceConfig {
+  /// Time between samples; 0 samples on every engine tick.
+  SimDuration sample_interval = 0;
+};
+
+class TraceRecorder final : public sim::TickComponent {
+ public:
+  explicit TraceRecorder(TraceConfig config = {});
+
+  // --- registration ---------------------------------------------------------
+  SeriesHandle add_gauge(std::string name, std::string scope, Probe probe);
+  SeriesHandle add_counter(std::string name, std::string scope, Probe probe);
+
+  /// Stop sampling a series (its owner is going away). History is kept and
+  /// later samples repeat the final value, so columns stay aligned.
+  void retire(SeriesHandle handle);
+
+  // --- sampling -------------------------------------------------------------
+  void tick(SimTime now, SimDuration dt) override;
+  std::string name() const override { return "obs.trace"; }
+
+  /// Record one row right now regardless of the sample interval.
+  void sample_now(SimTime now);
+
+  // --- access ---------------------------------------------------------------
+  std::size_t series_count() const { return series_.size(); }
+  std::size_t sample_count() const { return times_.size(); }
+  const std::vector<SimTime>& times() const { return times_; }
+
+  const SeriesInfo& info(SeriesHandle handle) const;
+  const std::vector<std::int64_t>& values(SeriesHandle handle) const;
+
+  /// "scope.name" for container series, plain "name" for host series — the
+  /// CSV column header and the lookup key for find().
+  std::string qualified_name(SeriesHandle handle) const;
+  std::optional<SeriesHandle> find(std::string_view qualified) const;
+
+  /// All qualified names in registration order; `scope` filters ("" = all).
+  std::vector<std::string> series_names(std::string_view scope = "") const;
+
+  /// Most recent sampled value (0 if no samples yet).
+  std::int64_t latest(SeriesHandle handle) const;
+
+  // --- export ---------------------------------------------------------------
+  /// "time_us,<col>,<col>,...\n" header plus one row per sample.
+  std::string to_csv() const;
+  /// {"times":[...],"series":[{"name":...,"kind":...,"scope":...,"values":[...]}]}
+  std::string to_json() const;
+
+ private:
+  struct Series {
+    SeriesInfo info;
+    Probe probe;  ///< null once retired
+    std::vector<std::int64_t> values;
+  };
+
+  SeriesHandle add_series(SeriesInfo info, Probe probe);
+
+  TraceConfig config_;
+  SimTime next_sample_ = 0;
+  std::vector<SimTime> times_;
+  std::vector<Series> series_;
+};
+
+}  // namespace arv::obs

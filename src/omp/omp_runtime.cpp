@@ -29,11 +29,28 @@ OmpProcess::OmpProcess(container::Host& host, container::Container& target,
   }
   host_.scheduler().attach(container_.cgroup(), this);
   attached_ = true;
+
+  if ((trace_ = host_.trace()) != nullptr) {
+    const std::string& scope = container_.name();
+    trace_handles_.push_back(trace_->add_gauge("omp.team_size", scope, [this] {
+      return phase_ == Phase::kParallel ? team_size_ : 0;
+    }));
+    trace_handles_.push_back(trace_->add_counter(
+        "omp.regions_done", scope, [this] { return stats_.regions_done; }));
+    trace_handles_.push_back(trace_->add_gauge(
+        "omp.in_parallel", scope,
+        [this] { return phase_ == Phase::kParallel ? 1 : 0; }));
+  }
 }
 
 OmpProcess::~OmpProcess() {
   if (attached_) {
     host_.scheduler().detach(container_.cgroup(), this);
+  }
+  if (trace_ != nullptr) {
+    for (const obs::SeriesHandle handle : trace_handles_) {
+      trace_->retire(handle);
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/container/container.h"
+#include "src/obs/trace_recorder.h"
 #include "src/sched/fair_scheduler.h"
 #include "src/util/types.h"
 
@@ -87,6 +88,8 @@ class OmpProcess : public sched::Schedulable {
   OmpStats stats_;
   std::vector<int> team_sizes_;
   bool attached_ = false;
+  obs::TraceRecorder* trace_ = nullptr;  ///< host's recorder; may be null
+  std::vector<obs::SeriesHandle> trace_handles_;
 };
 
 }  // namespace arv::omp

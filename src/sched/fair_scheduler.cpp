@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace_recorder.h"
 #include "src/util/assert.h"
 
 namespace arv::sched {
@@ -225,6 +226,17 @@ SimDuration FairScheduler::scheduling_period() const {
 void FairScheduler::set_loadavg_decay(double decay) {
   ARV_ASSERT(decay > 0.0 && decay < 1.0);
   loadavg_ = Ema(decay);
+}
+
+void FairScheduler::register_trace(obs::TraceRecorder& trace) const {
+  trace.add_counter("sched.slack_total", "", [this] { return total_slack_; });
+  trace.add_gauge("sched.slack_tick", "", [this] { return last_tick_slack_; });
+  trace.add_gauge("sched.nr_running", "",
+                  [this] { return static_cast<std::int64_t>(nr_running_); });
+  // Fixed-point milli-loads: traces stay integer-valued end to end.
+  trace.add_gauge("sched.loadavg_milli", "", [this] {
+    return static_cast<std::int64_t>(loadavg_.value() * 1000.0);
+  });
 }
 
 }  // namespace arv::sched

@@ -26,6 +26,10 @@
 #include "src/util/stats.h"
 #include "src/util/types.h"
 
+namespace arv::obs {
+class TraceRecorder;
+}
+
 namespace arv::sched {
 
 /// A CPU-time consumer attached to a cgroup (a container's thread
@@ -93,6 +97,10 @@ class FairScheduler : public sim::TickComponent {
   /// "warm" machine (§5.2, Figure 10) start from the saturated value
   /// rather than zero.
   void seed_loadavg(double value) { loadavg_.prime(value); }
+
+  /// Register the scheduler's host-wide series (slack, runnable count,
+  /// loadavg) with the observability layer. Observation-only.
+  void register_trace(obs::TraceRecorder& trace) const;
 
  private:
   struct Entity {

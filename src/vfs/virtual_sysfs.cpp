@@ -13,6 +13,9 @@ constexpr const char* kCpuOnlinePath = "/sys/devices/system/cpu/online";
 constexpr const char* kMeminfoPath = "/proc/meminfo";
 constexpr const char* kLoadavgPath = "/proc/loadavg";
 constexpr const char* kCpuinfoPath = "/proc/cpuinfo";
+/// The observability layer's per-container live counters (§ tentpole):
+/// processes inside a container read their own adaptation state here.
+constexpr const char* kTracePrefix = "/sys/arv/trace/";
 
 // One /proc/cpuinfo record per visible processor, the fields runtimes grep.
 std::string cpuinfo_for(int cpus) {
@@ -292,8 +295,67 @@ std::optional<std::string> VirtualSysfs::read(proc::Pid pid,
     if (path == kCpuinfoPath) {
       return cpuinfo_for(ns->effective_cpus());
     }
+    if (path.rfind(kTracePrefix, 0) == 0) {
+      if (const auto value = trace_counter_for(*ns, path.substr(
+              std::string(kTracePrefix).size()))) {
+        return strf("%lld\n", static_cast<long long>(*value));
+      }
+    }
   }
   return fs_.read(path);
+}
+
+std::optional<std::int64_t> VirtualSysfs::trace_counter_for(
+    const core::SysNamespace& ns, const std::string& counter) const {
+  if (counter == "e_cpu") {
+    return ns.effective_cpus();
+  }
+  if (counter == "e_mem") {
+    return ns.effective_memory();
+  }
+  if (counter == "cpu_lower") {
+    return ns.cpu_bounds().lower;
+  }
+  if (counter == "cpu_upper") {
+    return ns.cpu_bounds().upper;
+  }
+  if (counter == "mem_soft") {
+    return ns.mem_soft_limit();
+  }
+  if (counter == "mem_hard") {
+    return ns.mem_hard_limit();
+  }
+  if (counter == "cpu_updates") {
+    return static_cast<std::int64_t>(ns.cpu_updates());
+  }
+  if (counter == "mem_updates") {
+    return static_cast<std::int64_t>(ns.mem_updates());
+  }
+  if (counter == "mem_usage") {
+    return memory_.usage(ns.cgroup());
+  }
+  if (counter == "cpu_usage") {
+    return scheduler_.total_usage(ns.cgroup());
+  }
+  return std::nullopt;
+}
+
+void VirtualSysfs::attach_trace(const obs::TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ == nullptr) {
+    return;
+  }
+  fs_.register_file(std::string(kTracePrefix) + "series", [this] {
+    std::string out;
+    for (const std::string& name : trace_->series_names()) {
+      out += name;
+      out += '\n';
+    }
+    return out;
+  });
+  fs_.register_file(std::string(kTracePrefix) + "samples", [this] {
+    return strf("%zu\n", trace_->sample_count());
+  });
 }
 
 bool VirtualSysfs::write(const std::string& path, std::string_view value) {

@@ -15,6 +15,7 @@
 #include "src/cgroup/cgroup.h"
 #include "src/core/ns_monitor.h"
 #include "src/mem/memory_manager.h"
+#include "src/obs/trace_recorder.h"
 #include "src/proc/process.h"
 #include "src/sched/fair_scheduler.h"
 #include "src/vfs/pseudo_fs.h"
@@ -57,16 +58,26 @@ class VirtualSysfs {
   /// cgroup-destroyed event.
   void export_cgroup_files(cgroup::CgroupId id);
 
+  /// Attach the observability layer: exports /sys/arv/trace/series and
+  /// /sys/arv/trace/samples host-wide. The per-container live counters under
+  /// /sys/arv/trace/ (e_cpu, e_mem, bounds, update counts) are always
+  /// served for processes linked to a sys_namespace, recorder or not.
+  void attach_trace(const obs::TraceRecorder* trace);
+
  private:
   void build_host_files();
   std::shared_ptr<core::SysNamespace> sys_ns_of(proc::Pid pid) const;
   std::string meminfo_for(Bytes total, Bytes free) const;
+  /// Value of one /sys/arv/trace/<counter> file for a container namespace.
+  std::optional<std::int64_t> trace_counter_for(const core::SysNamespace& ns,
+                                                const std::string& counter) const;
 
   proc::ProcessTable& processes_;
   cgroup::Tree& tree_;
   sched::FairScheduler& scheduler_;
   mem::MemoryManager& memory_;
   core::NsMonitor& monitor_;
+  const obs::TraceRecorder* trace_ = nullptr;  ///< not owned; may be null
   PseudoFs fs_;
 };
 

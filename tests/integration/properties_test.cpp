@@ -7,6 +7,7 @@
 #include "src/util/rng.h"
 #include "src/workloads/hogs.h"
 #include "src/workloads/java_suites.h"
+#include "tests/testing/trace_matchers.h"
 
 namespace arv {
 namespace {
@@ -93,6 +94,77 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedStack,
                                            RandomScenarioParam{5, 10},
                                            RandomScenarioParam{6, 1},
                                            RandomScenarioParam{7, 6}));
+
+// The same invariants, but asserted over the *recorded trace* with per-tick
+// sampling — so a violation at any tick is caught, not just at the 100 ms
+// probe points above, and the update-round correlation (±1 step per round,
+// reset exactly when kswapd was seen by the update) is checked too.
+class RandomizedTrace : public ::testing::TestWithParam<RandomScenarioParam> {};
+
+TEST_P(RandomizedTrace, TraceInvariantsHoldUnderRandomConfigs) {
+  namespace trace = arv::testing::trace;
+  const auto param = GetParam();
+  Rng rng(param.seed * 7919 + 17);
+  container::HostConfig host_config;
+  host_config.cpus = static_cast<int>(rng.uniform_int(2, 16));
+  host_config.ram = rng.uniform_int(2, 16) * GiB;
+  host_config.enable_tracing = true;  // sample_interval 0: every tick
+  container::Host host(host_config);
+  container::ContainerRuntime runtime(host);
+
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<workloads::CpuHog>> hogs;
+  std::vector<std::unique_ptr<workloads::MemHog>> mem_hogs;
+  for (int i = 0; i < param.containers; ++i) {
+    container::ContainerConfig config;
+    config.name = "c" + std::to_string(i);
+    config.cpu_shares = rng.uniform_int(2, 4096);
+    if (rng.chance(0.5)) {
+      config.cfs_quota_us = rng.uniform_int(1, 10) * 100000;
+    }
+    // Always set memory limits so the soft-limit reset is exercised.
+    config.mem_limit = rng.uniform_int(1, 4) * GiB;
+    config.mem_soft_limit = config.mem_limit / 2;
+    auto& c = runtime.run(config);
+    names.push_back(c.name());
+    hogs.push_back(std::make_unique<workloads::CpuHog>(
+        host, c, static_cast<int>(rng.uniform_int(1, 8)), 3600 * sec));
+    // Memory hogs sized against the whole host, so several of them drive
+    // free memory through the kswapd watermarks.
+    mem_hogs.push_back(std::make_unique<workloads::MemHog>(
+        host, c, rng.uniform_int(256, 3072) * MiB, 1 * GiB));
+  }
+
+  host.run_for(2 * units::sec);
+
+  const obs::TraceRecorder& rec = *host.trace();
+  ASSERT_EQ(rec.sample_count(), 2000u);
+  EXPECT_TRUE(trace::AllCountersMonotonic(rec));
+  for (const std::string& n : names) {
+    // Algorithm 1: e_cpu confined to [LOWER, UPPER], moving at most
+    // cpu_step per completed update round.
+    EXPECT_TRUE(trace::WithinBounds(rec, n + ".e_cpu", n + ".cpu_lower",
+                                    n + ".cpu_upper"));
+    EXPECT_TRUE(trace::StepBounded(rec, n + ".e_cpu", n + ".cpu_updates",
+                                   core::Params{}.cpu_step));
+    // Algorithm 2: e_mem confined to [soft, hard]; any update round that
+    // observed kswapd reclaiming must land exactly on the soft limit.
+    EXPECT_TRUE(trace::WithinBounds(rec, n + ".e_mem", n + ".mem_soft",
+                                    n + ".mem_hard"));
+    EXPECT_TRUE(trace::ResetsUnderPressure(rec, n + ".e_mem", n + ".mem_soft",
+                                           n + ".mem_updates",
+                                           "mem.kswapd_active"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedTrace,
+                         ::testing::Values(RandomScenarioParam{1, 2},
+                                           RandomScenarioParam{2, 4},
+                                           RandomScenarioParam{3, 6},
+                                           RandomScenarioParam{4, 3},
+                                           RandomScenarioParam{5, 8},
+                                           RandomScenarioParam{6, 1},
+                                           RandomScenarioParam{7, 5}));
 
 struct DeterminismProbe {
   SimDuration exec_time;

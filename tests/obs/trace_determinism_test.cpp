@@ -1,0 +1,102 @@
+// Determinism and observation-only guarantees of the tracing layer.
+//
+// Two contracts, both load-bearing for golden-trace testing:
+//   1. The same scenario produces byte-identical CSV/JSON traces on every
+//      run (otherwise goldens would flake).
+//   2. Tracing never changes simulation behavior: a run with tracing on
+//      finishes in exactly the same final state as a run with tracing off.
+#include <gtest/gtest.h>
+
+#include "src/harness/scenario.h"
+#include "src/workloads/java_suites.h"
+
+namespace arv {
+namespace {
+
+using namespace arv::units;
+
+struct FinalState {
+  SimDuration exec_time = 0;
+  SimDuration gc_time = 0;
+  int minor_gcs = 0;
+  CpuTime jvm_cpu_usage = 0;
+  int e_cpu = 0;
+  Bytes e_mem = 0;
+  Bytes host_free = 0;
+  SimTime end = 0;
+
+  bool operator==(const FinalState&) const = default;
+};
+
+struct RunOutput {
+  FinalState state;
+  std::string csv;
+  std::string json;
+};
+
+// A contended mixed scenario: an adaptive JVM, a CPU hog, and a memory hog,
+// so every traced subsystem (scheduler, kswapd, monitor, JVM) does real work.
+RunOutput run_scenario(bool tracing) {
+  container::HostConfig host_config;
+  host_config.cpus = 6;
+  host_config.ram = 4 * GiB;
+  host_config.enable_tracing = tracing;
+  harness::JvmScenario scenario(host_config);
+
+  scenario.add_cpu_hog({}, 4, 2 * sec);
+  container::ContainerConfig hog;
+  hog.name = "memhog";
+  scenario.add_mem_hog(hog, 2 * GiB, 512 * MiB);
+
+  harness::JvmInstanceConfig config;
+  config.container.name = "jvm";
+  config.container.mem_limit = 2 * GiB;
+  config.container.mem_soft_limit = 1 * GiB;
+  config.flags.kind = jvm::JvmKind::kAdaptive;
+  config.flags.elastic_heap = true;
+  config.flags.heap_poll_interval = 500 * msec;
+  config.workload = *workloads::find_java_workload("xalan");
+  config.workload.total_work = 1 * sec;
+  config.flags.xmx = 3 * jvm::min_heap_of(config.workload);
+  const auto idx = scenario.add(config);
+  scenario.run(600 * sec);
+
+  RunOutput out;
+  const auto& stats = scenario.jvm(idx).stats();
+  out.state.exec_time = stats.exec_time();
+  out.state.gc_time = stats.gc_time();
+  out.state.minor_gcs = stats.minor_gcs;
+  const container::Container* jvm_container = scenario.runtime().find("jvm");
+  out.state.jvm_cpu_usage =
+      scenario.host().scheduler().total_usage(jvm_container->cgroup());
+  const auto view = jvm_container->resource_view();
+  out.state.e_cpu = view->effective_cpus();
+  out.state.e_mem = view->effective_memory();
+  out.state.host_free = scenario.host().memory().free_memory();
+  out.state.end = scenario.host().now();
+  if (tracing) {
+    out.csv = scenario.host().trace()->to_csv();
+    out.json = scenario.host().trace()->to_json();
+  }
+  return out;
+}
+
+TEST(TraceDeterminism, ByteIdenticalTracesAcrossRuns) {
+  const auto a = run_scenario(true);
+  const auto b = run_scenario(true);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_FALSE(a.csv.empty());
+  EXPECT_FALSE(a.json.empty());
+}
+
+TEST(TraceDeterminism, TracingIsObservationOnly) {
+  const auto traced = run_scenario(true);
+  const auto untraced = run_scenario(false);
+  EXPECT_EQ(traced.state, untraced.state)
+      << "enabling tracing changed simulation behavior";
+}
+
+}  // namespace
+}  // namespace arv

@@ -1,0 +1,163 @@
+// TraceAssert — gtest predicates over a recorded trace.
+//
+// Each helper checks one algorithmic invariant across every sample of a
+// TraceRecorder run and returns ::testing::AssertionResult, so failures
+// carry the sample index, simulated time, and offending values instead of a
+// bare boolean. Series are addressed by qualified name ("scope.name" for
+// container series) so tests read like the invariants they encode:
+//
+//   EXPECT_TRUE(trace::WithinBounds(rec, "c0.e_cpu", "c0.cpu_lower",
+//                                   "c0.cpu_upper"));
+//
+// The step/reset matchers assume per-tick sampling (sample_interval == 0):
+// they correlate value changes with the update-round counters recorded in
+// the same row, which is exact only when no rows are skipped.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace_recorder.h"
+
+namespace arv::testing::trace {
+
+namespace detail {
+
+/// Resolves `name` or appends a failure message; the caller returns early
+/// when the result is null.
+inline const std::vector<std::int64_t>* resolve(
+    const obs::TraceRecorder& rec, std::string_view name,
+    ::testing::AssertionResult& failure) {
+  const auto handle = rec.find(name);
+  if (!handle.has_value()) {
+    failure << "no series named \"" << name << "\" is registered";
+    return nullptr;
+  }
+  return &rec.values(*handle);
+}
+
+inline SimTime time_at(const obs::TraceRecorder& rec, std::size_t row) {
+  return rec.times().at(row);
+}
+
+}  // namespace detail
+
+/// The series never decreases — the defining property of a counter.
+inline ::testing::AssertionResult NonDecreasing(const obs::TraceRecorder& rec,
+                                                std::string_view name) {
+  auto failure = ::testing::AssertionFailure();
+  const auto* values = detail::resolve(rec, name, failure);
+  if (values == nullptr) {
+    return failure;
+  }
+  for (std::size_t i = 1; i < values->size(); ++i) {
+    if ((*values)[i] < (*values)[i - 1]) {
+      return ::testing::AssertionFailure()
+             << "counter \"" << name << "\" decreased from " << (*values)[i - 1]
+             << " to " << (*values)[i] << " at sample " << i << " (t="
+             << detail::time_at(rec, i) << "us)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Every series registered as a counter is monotonically non-decreasing.
+inline ::testing::AssertionResult AllCountersMonotonic(
+    const obs::TraceRecorder& rec) {
+  for (obs::SeriesHandle h = 0; h < rec.series_count(); ++h) {
+    if (rec.info(h).kind != obs::SeriesKind::kCounter) {
+      continue;
+    }
+    auto result = NonDecreasing(rec, rec.qualified_name(h));
+    if (!result) {
+      return result;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// lower[i] <= value[i] <= upper[i] at every sample — Algorithm 1's
+/// LOWER/UPPER invariant (and Algorithm 2's soft/hard one) as recorded.
+inline ::testing::AssertionResult WithinBounds(const obs::TraceRecorder& rec,
+                                               std::string_view value,
+                                               std::string_view lower,
+                                               std::string_view upper) {
+  auto failure = ::testing::AssertionFailure();
+  const auto* v = detail::resolve(rec, value, failure);
+  const auto* lo = detail::resolve(rec, lower, failure);
+  const auto* hi = detail::resolve(rec, upper, failure);
+  if (v == nullptr || lo == nullptr || hi == nullptr) {
+    return failure;
+  }
+  for (std::size_t i = 0; i < v->size(); ++i) {
+    if ((*v)[i] < (*lo)[i] || (*v)[i] > (*hi)[i]) {
+      return ::testing::AssertionFailure()
+             << "\"" << value << "\" = " << (*v)[i] << " outside [\"" << lower
+             << "\" = " << (*lo)[i] << ", \"" << upper << "\" = " << (*hi)[i]
+             << "] at sample " << i << " (t=" << detail::time_at(rec, i)
+             << "us)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// |value[i] - value[i-1]| <= max_step * (rounds[i] - rounds[i-1]) — the
+/// Algorithm 1 rule that e_cpu moves at most one step per update round.
+inline ::testing::AssertionResult StepBounded(const obs::TraceRecorder& rec,
+                                              std::string_view value,
+                                              std::string_view rounds,
+                                              std::int64_t max_step) {
+  auto failure = ::testing::AssertionFailure();
+  const auto* v = detail::resolve(rec, value, failure);
+  const auto* r = detail::resolve(rec, rounds, failure);
+  if (v == nullptr || r == nullptr) {
+    return failure;
+  }
+  for (std::size_t i = 1; i < v->size(); ++i) {
+    const std::int64_t delta = (*v)[i] - (*v)[i - 1];
+    const std::int64_t magnitude = delta < 0 ? -delta : delta;
+    const std::int64_t budget = max_step * ((*r)[i] - (*r)[i - 1]);
+    if (magnitude > budget) {
+      return ::testing::AssertionFailure()
+             << "\"" << value << "\" moved by " << delta << " across "
+             << ((*r)[i] - (*r)[i - 1]) << " update round(s) of \"" << rounds
+             << "\" (budget " << budget << ") at sample " << i << " (t="
+             << detail::time_at(rec, i) << "us)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Whenever an update round completed (rounds increased) while `active` is
+/// nonzero, value[i] == target[i] — Algorithm 2's kswapd reset: an effective
+/// memory recomputed during reclaim must sit exactly at the soft limit.
+inline ::testing::AssertionResult ResetsUnderPressure(
+    const obs::TraceRecorder& rec, std::string_view value,
+    std::string_view target, std::string_view rounds,
+    std::string_view active) {
+  auto failure = ::testing::AssertionFailure();
+  const auto* v = detail::resolve(rec, value, failure);
+  const auto* t = detail::resolve(rec, target, failure);
+  const auto* r = detail::resolve(rec, rounds, failure);
+  const auto* a = detail::resolve(rec, active, failure);
+  if (v == nullptr || t == nullptr || r == nullptr || a == nullptr) {
+    return failure;
+  }
+  for (std::size_t i = 1; i < v->size(); ++i) {
+    const bool updated = (*r)[i] > (*r)[i - 1];
+    if (updated && (*a)[i] != 0 && (*v)[i] != (*t)[i]) {
+      return ::testing::AssertionFailure()
+             << "\"" << value << "\" = " << (*v)[i] << " but \"" << active
+             << "\" is active and an update round completed, so it must equal "
+             << "\"" << target << "\" = " << (*t)[i] << " at sample " << i
+             << " (t=" << detail::time_at(rec, i) << "us)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace arv::testing::trace

@@ -300,5 +300,81 @@ TEST(VirtualSysfs, LoadavgFilePresent) {
   EXPECT_NE(loadavg->find("0.00"), std::string::npos);
 }
 
+// --- /sys/arv/trace: the observability layer's pseudo-files -----------------
+
+TEST(VirtualSysfs, ContainerReadsItsOwnTraceCounters) {
+  Fixture f;  // note: no recorder needed for the per-container counters
+  container::ContainerConfig config;
+  config.name = "traced";
+  config.cfs_quota_us = 400000;  // 4 CPUs
+  config.mem_limit = 2 * GiB;
+  config.mem_soft_limit = 1 * GiB;
+  auto& c = f.run(config);
+
+  auto read = [&](const char* counter) {
+    return f.host.sysfs().read(c.init_pid(),
+                               std::string("/sys/arv/trace/") + counter);
+  };
+  EXPECT_EQ(read("e_cpu"), "4\n");
+  EXPECT_EQ(read("e_mem"), "1073741824\n");  // starts at the soft limit
+  EXPECT_EQ(read("cpu_upper"), "4\n");
+  EXPECT_EQ(read("mem_hard"), "2147483648\n");
+  EXPECT_EQ(read("cpu_updates"), "0\n");
+  EXPECT_EQ(read("mem_usage"), "0\n");
+  EXPECT_EQ(read("no_such_counter"), std::nullopt);
+}
+
+TEST(VirtualSysfs, TraceCountersAdvanceWithTheSimulation) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.name = "live";
+  auto& c = f.run(config);
+  workloads::CpuHog hog(f.host, c, 4, 3600 * sec);
+  f.host.run_for(500 * msec);
+
+  const auto updates =
+      f.host.sysfs().read(c.init_pid(), "/sys/arv/trace/cpu_updates");
+  ASSERT_TRUE(updates.has_value());
+  EXPECT_NE(*updates, "0\n");
+  const auto usage =
+      f.host.sysfs().read(c.init_pid(), "/sys/arv/trace/cpu_usage");
+  ASSERT_TRUE(usage.has_value());
+  EXPECT_GT(std::stoll(*usage), 0);
+}
+
+TEST(VirtualSysfs, StockContainerHasNoTraceCounters) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.name = "stock";
+  config.enable_resource_view = false;
+  auto& c = f.run(config);
+  EXPECT_EQ(f.host.sysfs().read(c.init_pid(), "/sys/arv/trace/e_cpu"),
+            std::nullopt);
+}
+
+TEST(VirtualSysfs, RecorderExportsSeriesIndexHostWide) {
+  container::HostConfig host_config;
+  host_config.cpus = 4;
+  host_config.ram = 4 * GiB;
+  host_config.enable_tracing = true;
+  container::Host host(host_config);
+  container::ContainerRuntime runtime(host);
+  runtime.run({.name = "c0"});
+  host.run_for(50 * msec);
+
+  const auto series = host.sysfs().read(proc::kHostInit, "/sys/arv/trace/series");
+  ASSERT_TRUE(series.has_value());
+  EXPECT_NE(series->find("sim.ticks\n"), std::string::npos);
+  EXPECT_NE(series->find("c0.e_cpu\n"), std::string::npos);
+  EXPECT_EQ(host.sysfs().read(proc::kHostInit, "/sys/arv/trace/samples"),
+            "50\n");
+}
+
+TEST(VirtualSysfs, NoSeriesIndexWithoutRecorder) {
+  Fixture f;  // tracing disabled in the fixture's host
+  EXPECT_EQ(f.host.sysfs().read(proc::kHostInit, "/sys/arv/trace/series"),
+            std::nullopt);
+}
+
 }  // namespace
 }  // namespace arv::vfs
