@@ -48,20 +48,24 @@ Container::Container(Host& host, const ContainerConfig& config)
                    "sys_namespace ownership must transfer to the new init");
   }
 
-  // 3. Per-container consumption series. Probes read through Host (which
-  // outlives every container), so a stopped container's columns simply
-  // flatline instead of dangling.
-  if (obs::TraceRecorder* trace = host_.trace()) {
+  // 3. Per-container consumption series, retired again in stop() so a
+  // stopped container's columns flatline by recorder guarantee rather than
+  // by relying on the accessors keeping per-cgroup accounting forever.
+  if ((trace_ = host_.trace()) != nullptr) {
     Host* h = &host_;
     const cgroup::CgroupId cg = cgroup_;
-    trace->add_counter("cpu_usage", config_.name,
-                       [h, cg] { return h->scheduler().total_usage(cg); });
-    trace->add_counter("cpu_throttled", config_.name,
-                       [h, cg] { return h->scheduler().throttled_time(cg); });
-    trace->add_gauge("mem_usage", config_.name,
-                     [h, cg] { return h->memory().usage(cg); });
-    trace->add_gauge("mem_swapped", config_.name,
-                     [h, cg] { return h->memory().swapped(cg); });
+    trace_handles_.push_back(trace_->add_counter(
+        "cpu_usage", config_.name,
+        [h, cg] { return h->scheduler().total_usage(cg); }));
+    trace_handles_.push_back(trace_->add_counter(
+        "cpu_throttled", config_.name,
+        [h, cg] { return h->scheduler().throttled_time(cg); }));
+    trace_handles_.push_back(
+        trace_->add_gauge("mem_usage", config_.name,
+                          [h, cg] { return h->memory().usage(cg); }));
+    trace_handles_.push_back(
+        trace_->add_gauge("mem_swapped", config_.name,
+                          [h, cg] { return h->memory().swapped(cg); }));
   }
   running_ = true;
 }
@@ -108,6 +112,12 @@ void Container::stop() {
     memory.uncharge(cgroup_, committed);
   }
   host_.cgroups().destroy(cgroup_);  // fires kDestroyed -> monitor/vfs cleanup
+  if (trace_ != nullptr) {
+    for (const obs::SeriesHandle handle : trace_handles_) {
+      trace_->retire(handle);
+    }
+    trace_handles_.clear();
+  }
   running_ = false;
   ARV_LOG(kDebug, "container", "stopped %s", config_.name.c_str());
 }

@@ -11,6 +11,7 @@
 #include "src/container/host.h"
 #include "src/core/params.h"
 #include "src/core/sys_namespace.h"
+#include "src/obs/trace_recorder.h"
 #include "src/util/cpuset.h"
 #include "src/util/types.h"
 
@@ -70,6 +71,8 @@ class Container {
   cgroup::CgroupId cgroup_ = -1;
   proc::Pid init_pid_ = -1;
   std::shared_ptr<core::SysNamespace> view_;
+  obs::TraceRecorder* trace_ = nullptr;  ///< host's recorder; may be null
+  std::vector<obs::SeriesHandle> trace_handles_;
   bool running_ = false;
 };
 

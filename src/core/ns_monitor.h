@@ -1,0 +1,82 @@
+// Ns_Monitor — the system-wide kernel daemon of §3.1/§3.2.
+//
+// Two responsibilities, exactly as in the paper:
+//   1. React to cgroup-setting changes (container creation/termination,
+//      adjusted limits) by refreshing the affected sys_namespace's static
+//      bounds. This is wired through cgroup::Tree's notification hook.
+//   2. Drive the periodic effective-CPU/effective-memory updates. The interval
+//      is the CFS scheduling period (24 ms for <= 8 runnable tasks, else
+//      3 ms * nr_running), re-read after every firing, "so any changes to
+//      the CPU allocation of containers are immediately reflected". The same
+//      interval is used for effective memory.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cgroup/cgroup.h"
+#include "src/core/sys_namespace.h"
+#include "src/mem/memory_manager.h"
+#include "src/obs/trace_recorder.h"
+#include "src/sched/fair_scheduler.h"
+#include "src/sim/engine.h"
+
+namespace arv::core {
+
+class NsMonitor : public sim::TickComponent {
+ public:
+  NsMonitor(cgroup::Tree& tree, sched::FairScheduler& scheduler,
+            mem::MemoryManager& memory);
+
+  /// Attach a container's sys_namespace to the monitor. Bounds and limits
+  /// are refreshed immediately; periodic updates begin at the next firing.
+  void register_ns(const std::shared_ptr<SysNamespace>& ns);
+  void unregister_ns(cgroup::CgroupId id);
+
+  std::shared_ptr<SysNamespace> lookup(cgroup::CgroupId id) const;
+  std::size_t registered_count() const { return namespaces_.size(); }
+
+  /// Force an immediate update round (used by tests and the overhead bench).
+  void update_all(SimTime now);
+
+  /// Override the update interval with a fixed period instead of tracking
+  /// the scheduler's period (§3.2). 0 restores the paper's behaviour.
+  /// Exists for the update-period ablation study.
+  void set_fixed_update_period(SimDuration period) { fixed_period_ = period; }
+
+  std::uint64_t update_rounds() const { return update_rounds_; }
+
+  /// Attach the observability layer. Registers the monitor's host-wide
+  /// update-round counter plus, for every current and future sys_namespace,
+  /// the Algorithm 1/2 series (e_cpu, e_mem, bounds, update counters) under
+  /// the owning container's name. Pass nullptr to stop registering.
+  void set_trace(obs::TraceRecorder* trace);
+
+  // --- sim::TickComponent ---------------------------------------------------
+  void tick(SimTime now, SimDuration dt) override;
+  std::string name() const override { return "core.ns_monitor"; }
+
+ private:
+  struct Tracked {
+    std::shared_ptr<SysNamespace> ns;
+    CpuTime last_usage = 0;
+    SimTime last_update = 0;
+    std::vector<obs::SeriesHandle> trace_handles;
+  };
+
+  void on_cgroup_event(const cgroup::Event& event);
+  void register_ns_trace(Tracked& tracked);
+
+  cgroup::Tree& tree_;
+  sched::FairScheduler& scheduler_;
+  mem::MemoryManager& memory_;
+  std::map<cgroup::CgroupId, Tracked> namespaces_;
+  SimTime next_update_ = 0;
+  SimDuration fixed_period_ = 0;
+  CpuTime last_slack_ = 0;
+  std::uint64_t update_rounds_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;  ///< not owned; may be null
+};
+
+}  // namespace arv::core

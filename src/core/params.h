@@ -1,0 +1,45 @@
+// Tunables of the adaptive resource view, with the paper's defaults.
+#pragma once
+
+#include "src/util/types.h"
+
+namespace arv::core {
+
+/// What the per-container view exports.
+enum class ViewMode {
+  /// The paper's system: effective capacity, continuously updated
+  /// (Algorithms 1 and 2).
+  kAdaptive,
+  /// LXCFS / cgroup-namespace behaviour (§1): export the *static* limits
+  /// set by the administrator — quota/cpuset CPUs and the hard memory
+  /// limit — with no awareness of actual allocation. The paper's point is
+  /// that this is not enough in a work-conserving multi-tenant host.
+  kStaticLimits,
+};
+
+struct Params {
+  ViewMode mode = ViewMode::kAdaptive;
+  /// Algorithm 1's UTIL_THRSHD: grow effective CPU when window utilization
+  /// of the current effective CPUs exceeds this (paper: 95%).
+  double cpu_util_threshold = 0.95;
+
+  /// Effective CPU changes by at most this many CPUs per update ("changes to
+  /// effective CPU are limited to 1 per update to prevent abrupt
+  /// fluctuations").
+  int cpu_step = 1;
+
+  /// Algorithm 2: grow effective memory when the container uses more than
+  /// this fraction of it (paper: 90%).
+  double mem_use_threshold = 0.90;
+
+  /// Algorithm 2: each growth step is this fraction of the remaining
+  /// headroom to the hard limit (paper: 10%).
+  double mem_growth_frac = 0.10;
+
+  /// Algorithm 2 lines 8-9: gate growth on the predicted free-memory
+  /// impact staying above HIGH_MARK. Disable only for ablation — ungated
+  /// growth expands straight into kswapd's territory.
+  bool mem_prediction_gate = true;
+};
+
+}  // namespace arv::core

@@ -1,0 +1,150 @@
+#include "src/core/sys_namespace.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+#include "src/util/log.h"
+
+namespace arv::core {
+
+SysNamespace::SysNamespace(cgroup::CgroupId cgroup, Params params)
+    : proc::Namespace(Kind::kSys), cgroup_(cgroup), params_(params) {
+  ARV_ASSERT(params.cpu_util_threshold > 0.0 && params.cpu_util_threshold <= 1.0);
+  ARV_ASSERT(params.mem_use_threshold > 0.0 && params.mem_use_threshold <= 1.0);
+  ARV_ASSERT(params.mem_growth_frac > 0.0 && params.mem_growth_frac <= 1.0);
+  ARV_ASSERT(params.cpu_step >= 1);
+}
+
+void SysNamespace::refresh_cpu_bounds(const cgroup::Tree& tree) {
+  if (!tree.exists(cgroup_)) {
+    return;
+  }
+  const int online = tree.online_cpus();
+  const int mask_cpus = tree.effective_cpuset(cgroup_).count();
+  const int quota_cpus = tree.effective_quota_cpus(cgroup_);  // l_i / t
+
+  // Algorithm 1, line 4: the share fraction guarantees ceil(w_i/Σw · |P|)
+  // CPUs if affinity and quota permit.
+  const std::int64_t shares = tree.get(cgroup_).cpu().shares;
+  const std::int64_t total_shares = std::max<std::int64_t>(1, tree.total_shares());
+  const int share_cpus = static_cast<int>(
+      ceil_div(shares * online, total_shares));
+
+  bounds_.lower = std::max(1, std::min({quota_cpus, mask_cpus, share_cpus}));
+  // Algorithm 1, line 5.
+  bounds_.upper = std::max(1, std::min(quota_cpus, mask_cpus));
+  ARV_ASSERT(bounds_.lower <= bounds_.upper);
+
+  if (params_.mode == ViewMode::kStaticLimits) {
+    // LXCFS-style: export the administrator-set limit, nothing else.
+    e_cpu_ = bounds_.upper;
+    return;
+  }
+  // Line 6 applies at creation; later setting changes clamp the current
+  // value into the new range without losing adaptive state.
+  if (e_cpu_ == 0) {
+    e_cpu_ = bounds_.lower;
+  }
+  e_cpu_ = std::clamp(e_cpu_, bounds_.lower, bounds_.upper);
+}
+
+void SysNamespace::refresh_mem_limits(const cgroup::Tree& tree, Bytes total_ram) {
+  if (!tree.exists(cgroup_)) {
+    return;
+  }
+  const auto& mem = tree.get(cgroup_).mem();
+  hard_limit_ = std::min(mem.limit_in_bytes, total_ram);
+  // A container without a soft limit effectively has soft == hard (there is
+  // nothing for kswapd's soft-limit pass to reclaim down to).
+  soft_limit_ = std::min(mem.soft_limit_in_bytes, hard_limit_);
+  if (params_.mode == ViewMode::kStaticLimits) {
+    e_mem_ = hard_limit_;
+    return;
+  }
+  // Algorithm 2, line 3: initialize to the soft limit; on limit changes,
+  // re-clamp into the valid range.
+  if (e_mem_ == 0) {
+    e_mem_ = soft_limit_;
+  }
+  e_mem_ = std::clamp(e_mem_, soft_limit_, hard_limit_);
+}
+
+void SysNamespace::update_cpu(const CpuObservation& obs) {
+  ARV_ASSERT(obs.window > 0);
+  ++cpu_updates_;
+  if (params_.mode == ViewMode::kStaticLimits) {
+    return;  // static views never react to allocation
+  }
+  if (obs.host_has_slack) {
+    // Lines 9-12: grow while the container saturates its effective CPUs and
+    // the host has idle capacity it could soak up (work conservation).
+    const double capacity =
+        static_cast<double>(e_cpu_) * static_cast<double>(obs.window);
+    const double utilization = static_cast<double>(obs.usage) / capacity;
+    if (utilization > params_.cpu_util_threshold && e_cpu_ < bounds_.upper) {
+      e_cpu_ = std::min(bounds_.upper, e_cpu_ + params_.cpu_step);
+    }
+  } else {
+    // Lines 14-15: the host is saturated; back off toward the guaranteed
+    // share so containers converge on an interference-free concurrency.
+    if (e_cpu_ > bounds_.lower) {
+      e_cpu_ = std::max(bounds_.lower, e_cpu_ - params_.cpu_step);
+    }
+  }
+}
+
+void SysNamespace::update_mem(const MemObservation& obs) {
+  ++mem_updates_;
+  if (params_.mode == ViewMode::kStaticLimits) {
+    return;  // static views never react to allocation
+  }
+  if (hard_limit_ <= 0) {
+    return;  // limits not initialized yet
+  }
+  if (obs.free <= obs.low_mark || obs.kswapd_active) {
+    // Line 13-14: memory shortage — fall back to the reclaim target so the
+    // runtime sheds the memory kswapd is about to steal anyway.
+    e_mem_ = soft_limit_;
+    prev_free_ = obs.free;
+    prev_usage_ = obs.usage;
+    return;
+  }
+  if (e_mem_ < hard_limit_ &&
+      static_cast<double>(obs.usage) >
+          params_.mem_use_threshold * static_cast<double>(e_mem_)) {
+    // Line 7: step toward the hard limit by 10% of the remaining headroom.
+    const Bytes delta = std::max<Bytes>(
+        units::page,
+        static_cast<Bytes>(static_cast<double>(hard_limit_ - e_mem_) *
+                           params_.mem_growth_frac));
+
+    // Line 8: predict the system-free-memory impact of granting `delta`,
+    // scaled by how much free memory moved per byte of container growth in
+    // the previous window. Guard degenerate windows (container shrank or
+    // free memory grew): then growth is presumed safe at 1:1.
+    double ratio = 1.0;
+    if (prev_free_.has_value() && prev_usage_.has_value() &&
+        obs.usage > *prev_usage_ && *prev_free_ > obs.free) {
+      ratio = static_cast<double>(*prev_free_ - obs.free) /
+              static_cast<double>(obs.usage - *prev_usage_);
+    }
+    const Bytes predicted_drop =
+        static_cast<Bytes>(ratio * static_cast<double>(delta));
+
+    // Line 9: only grow if the predicted free memory stays above HIGH_MARK,
+    // i.e. growth will not wake kswapd.
+    if (!params_.mem_prediction_gate || obs.free - predicted_drop > obs.high_mark) {
+      e_mem_ = std::min(hard_limit_, e_mem_ + delta);
+    }
+  }
+  // Snapshot only when usage actually moved: heap growth is bursty relative
+  // to the update period, and a zero-delta window would collapse the
+  // prediction ratio to its default, hiding the free-memory drain that
+  // co-growing containers cause (the very thing line 8 exists to catch).
+  if (!prev_usage_.has_value() || obs.usage != *prev_usage_) {
+    prev_free_ = obs.free;
+    prev_usage_ = obs.usage;
+  }
+}
+
+}  // namespace arv::core

@@ -1,0 +1,91 @@
+// SysNamespace — the paper's central data structure (§3.1).
+//
+// One instance per container. Maintains the container's *effective* CPU
+// count (Algorithm 1) and *effective* memory size (Algorithm 2), i.e. the
+// resources the container can actually use right now given its cgroup
+// limits, its share of contention, and the host's current slack. The
+// Ns_Monitor drives the periodic updates; the virtual sysfs answers
+// application queries from these values.
+#pragma once
+
+#include <optional>
+
+#include "src/core/params.h"
+#include "src/proc/process.h"
+#include "src/util/types.h"
+
+namespace arv::core {
+
+/// Static CPU bounds derived from cgroup settings (Algorithm 1, lines 4-5).
+struct CpuBounds {
+  int lower = 1;
+  int upper = 1;
+};
+
+/// Inputs to one effective-CPU update (Algorithm 1, lines 8-17).
+struct CpuObservation {
+  CpuTime usage;        ///< container CPU time consumed in the window
+  SimDuration window;   ///< window length t
+  bool host_has_slack;  ///< pslack > 0 during the window
+};
+
+/// Inputs to one effective-memory update (Algorithm 2).
+struct MemObservation {
+  Bytes free;           ///< system-wide current free memory (cfree)
+  Bytes usage;          ///< container's current memory usage (cmem)
+  bool kswapd_active;   ///< kswapd currently reclaiming
+  Bytes low_mark;       ///< LOW_MARK watermark
+  Bytes high_mark;      ///< HIGH_MARK watermark
+};
+
+class SysNamespace final : public proc::Namespace {
+ public:
+  SysNamespace(cgroup::CgroupId cgroup, Params params);
+
+  cgroup::CgroupId cgroup() const { return cgroup_; }
+
+  // --- queries (what the virtual sysfs exports) ----------------------------
+  int effective_cpus() const { return e_cpu_; }
+  Bytes effective_memory() const { return e_mem_; }
+  CpuBounds cpu_bounds() const { return bounds_; }
+  Bytes mem_soft_limit() const { return soft_limit_; }
+  Bytes mem_hard_limit() const { return hard_limit_; }
+
+  // --- configuration-change hooks (called by Ns_Monitor) -------------------
+  /// Recompute Algorithm 1's static bounds from cgroup settings. `total_ram`
+  /// caps the memory limits; `total_shares` is Σ cpu.shares over containers.
+  void refresh_cpu_bounds(const cgroup::Tree& tree);
+  void refresh_mem_limits(const cgroup::Tree& tree, Bytes total_ram);
+
+  // --- periodic updates (called by Ns_Monitor every scheduling period) -----
+  /// Algorithm 1 lines 8-17: one ±1 adjustment based on window utilization.
+  void update_cpu(const CpuObservation& obs);
+
+  /// Algorithm 2: grow toward the hard limit under the prediction gate, or
+  /// reset to the soft limit while kswapd reclaims.
+  void update_mem(const MemObservation& obs);
+
+  std::uint64_t cpu_updates() const { return cpu_updates_; }
+  std::uint64_t mem_updates() const { return mem_updates_; }
+
+ private:
+  cgroup::CgroupId cgroup_;
+  Params params_;
+
+  CpuBounds bounds_;
+  int e_cpu_ = 1;
+
+  Bytes soft_limit_ = 0;
+  Bytes hard_limit_ = 0;
+  Bytes e_mem_ = 0;
+  /// Previous-window snapshots for the line-8 prediction ratio. Empty until
+  /// the first update_mem() window completes, so byte value 0 (a legal
+  /// usage/free reading) is never conflated with "no previous window".
+  std::optional<Bytes> prev_free_;
+  std::optional<Bytes> prev_usage_;
+
+  std::uint64_t cpu_updates_ = 0;
+  std::uint64_t mem_updates_ = 0;
+};
+
+}  // namespace arv::core

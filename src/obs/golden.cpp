@@ -66,6 +66,15 @@ std::string diff_lines(const std::string& expected, const std::string& actual,
     out += strf("(%zu golden lines vs %zu actual lines, %d differ)\n",
                 want.size(), got.size(), total);
   }
+  // to_lines() collapses "a" and "a\n" to the same line list, so a byte
+  // mismatch can otherwise slip through with an empty diff. Report the
+  // trailing-newline difference explicitly.
+  const bool want_nl = !expected.empty() && expected.back() == '\n';
+  const bool got_nl = !actual.empty() && actual.back() == '\n';
+  if (want_nl != got_nl) {
+    out += strf("trailing newline: golden %s, actual %s\n",
+                want_nl ? "present" : "missing", got_nl ? "present" : "missing");
+  }
   return out;
 }
 

@@ -343,10 +343,16 @@ std::optional<std::int64_t> VirtualSysfs::trace_counter_for(
 void VirtualSysfs::attach_trace(const obs::TraceRecorder* trace) {
   trace_ = trace;
   if (trace_ == nullptr) {
+    // Detach: the files stay registered (the vfs has no unregister), but
+    // their lambdas guard on trace_ so reads degrade to empty instead of
+    // dereferencing null.
     return;
   }
   fs_.register_file(std::string(kTracePrefix) + "series", [this] {
     std::string out;
+    if (trace_ == nullptr) {
+      return out;
+    }
     for (const std::string& name : trace_->series_names()) {
       out += name;
       out += '\n';
@@ -354,6 +360,9 @@ void VirtualSysfs::attach_trace(const obs::TraceRecorder* trace) {
     return out;
   });
   fs_.register_file(std::string(kTracePrefix) + "samples", [this] {
+    if (trace_ == nullptr) {
+      return std::string();
+    }
     return strf("%zu\n", trace_->sample_count());
   });
 }

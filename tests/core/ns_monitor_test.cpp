@@ -1,0 +1,166 @@
+#include "src/core/ns_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+#include "tests/testing/fake_consumer.h"
+
+namespace arv::core {
+namespace {
+
+using arv::testing::FakeConsumer;
+using namespace arv::units;
+
+struct Fixture {
+  Fixture()
+      : tree(20), sched(tree, 20), mm(tree, mem_config()), monitor(tree, sched, mm) {
+    engine.add_component(&sched);
+    engine.add_component(&mm);
+    engine.add_component(&monitor);
+  }
+
+  static mem::Config mem_config() {
+    mem::Config config;
+    config.total_ram = 128 * GiB;
+    return config;
+  }
+
+  std::shared_ptr<SysNamespace> add_container(const std::string& name) {
+    const auto cg = tree.create(name);
+    auto ns = std::make_shared<SysNamespace>(cg, Params{});
+    monitor.register_ns(ns);
+    return ns;
+  }
+
+  sim::Engine engine{1 * msec};
+  cgroup::Tree tree;
+  sched::FairScheduler sched;
+  mem::MemoryManager mm;
+  NsMonitor monitor;
+};
+
+TEST(NsMonitor, RegisterInitializesBoundsAndLimits) {
+  Fixture f;
+  const auto ns = f.add_container("a");
+  EXPECT_EQ(ns->effective_cpus(), 20);
+  EXPECT_EQ(ns->effective_memory(), 128 * GiB);
+  EXPECT_EQ(f.monitor.registered_count(), 1u);
+}
+
+TEST(NsMonitor, LookupFindsRegistered) {
+  Fixture f;
+  const auto ns = f.add_container("a");
+  EXPECT_EQ(f.monitor.lookup(ns->cgroup()), ns);
+  EXPECT_EQ(f.monitor.lookup(999), nullptr);
+}
+
+TEST(NsMonitor, CgroupChangeRefreshesBoundsImmediately) {
+  Fixture f;
+  const auto ns = f.add_container("a");
+  ASSERT_EQ(ns->cpu_bounds().upper, 20);
+  f.tree.set_cfs_quota(ns->cgroup(), 400000);  // 4 CPUs
+  // No engine run needed: the cgroup hook fires synchronously.
+  EXPECT_EQ(ns->cpu_bounds().upper, 4);
+  EXPECT_LE(ns->effective_cpus(), 4);
+}
+
+TEST(NsMonitor, NewContainerReshapesPeersShareFraction) {
+  Fixture f;
+  const auto a = f.add_container("a");
+  ASSERT_EQ(a->cpu_bounds().lower, 20);
+  f.add_container("b");
+  EXPECT_EQ(a->cpu_bounds().lower, 10);  // share fraction halved
+}
+
+TEST(NsMonitor, MemLimitChangeRefreshesLimits) {
+  Fixture f;
+  const auto ns = f.add_container("a");
+  f.tree.set_mem_limit(ns->cgroup(), 2 * GiB);
+  EXPECT_EQ(ns->mem_hard_limit(), static_cast<Bytes>(2) * GiB);
+}
+
+TEST(NsMonitor, DestroyUnregisters) {
+  Fixture f;
+  const auto ns = f.add_container("a");
+  f.tree.destroy(ns->cgroup());
+  EXPECT_EQ(f.monitor.registered_count(), 0u);
+}
+
+TEST(NsMonitor, PeriodicUpdatesFireAtSchedulingPeriod) {
+  Fixture f;
+  const auto ns = f.add_container("a");
+  FakeConsumer busy(4);
+  f.sched.attach(ns->cgroup(), &busy);
+  // Scheduling period is 24 ms with <= 8 tasks -> ~41 updates per second.
+  f.engine.run_for(1 * sec);
+  EXPECT_GT(ns->cpu_updates(), 30u);
+  EXPECT_LT(ns->cpu_updates(), 60u);
+  EXPECT_EQ(ns->cpu_updates(), ns->mem_updates());
+}
+
+TEST(NsMonitor, EffectiveCpuTracksContention) {
+  Fixture f;
+  // b exists first so that a's view initializes at LOWER = 10 (line 6 of
+  // Algorithm 1 runs at container creation against the current shares).
+  const auto b = f.add_container("b");
+  const auto a = f.add_container("a");
+  // 12 busy threads on 20 CPUs: slack exists and a saturates its effective
+  // CPUs, so E_a climbs from LOWER (10) until utilization falls under the
+  // 95% threshold (~13).
+  FakeConsumer busy_a(12);
+  f.sched.attach(a->cgroup(), &busy_a);
+  f.engine.run_for(2 * sec);
+  EXPECT_GE(a->effective_cpus(), 12);
+  EXPECT_LE(a->effective_cpus(), 14);
+  // b wakes up and saturates the host: no slack anywhere, so both views
+  // retreat to their guaranteed share (lines 14-15).
+  FakeConsumer busy_b(20);
+  f.sched.attach(b->cgroup(), &busy_b);
+  f.engine.run_for(2 * sec);
+  EXPECT_EQ(a->effective_cpus(), 10);
+  EXPECT_EQ(b->effective_cpus(), 10);
+}
+
+TEST(NsMonitor, FixedUpdatePeriodOverridesSchedulingPeriod) {
+  Fixture f;
+  const auto ns = f.add_container("a");
+  FakeConsumer busy(4);
+  f.sched.attach(ns->cgroup(), &busy);
+  f.monitor.set_fixed_update_period(100 * msec);
+  f.engine.run_for(1 * sec);
+  // ~10 updates instead of ~41 at the 24 ms scheduling period.
+  EXPECT_GE(ns->cpu_updates(), 9u);
+  EXPECT_LE(ns->cpu_updates(), 12u);
+  // Restoring 0 returns to scheduling-period tracking.
+  f.monitor.set_fixed_update_period(0);
+  const auto before = ns->cpu_updates();
+  f.engine.run_for(1 * sec);
+  EXPECT_GT(ns->cpu_updates() - before, 30u);
+}
+
+TEST(NsMonitor, StaticViewRegistersButStaysStatic) {
+  Fixture f;
+  const auto cg = f.tree.create("lxcfs");
+  Params params;
+  params.mode = ViewMode::kStaticLimits;
+  auto ns = std::make_shared<SysNamespace>(cg, params);
+  f.monitor.register_ns(ns);
+  EXPECT_EQ(ns->effective_cpus(), 20);  // upper bound = whole host, no limits
+  FakeConsumer busy(20);
+  f.sched.attach(cg, &busy);
+  f.tree.create("peer");  // share fraction drops; static view ignores it
+  f.engine.run_for(2 * sec);
+  EXPECT_EQ(ns->effective_cpus(), 20);
+}
+
+TEST(NsMonitor, UpdateAllCanBeForcedManually) {
+  Fixture f;
+  const auto ns = f.add_container("a");
+  const auto before = ns->cpu_updates();
+  f.monitor.update_all(10 * msec);  // nonzero window since registration
+  EXPECT_EQ(ns->cpu_updates(), before + 1);
+  EXPECT_GE(f.monitor.update_rounds(), 1u);
+}
+
+}  // namespace
+}  // namespace arv::core

@@ -1,0 +1,95 @@
+// The §3.2 update-timer coupling: the Ns_Monitor interval must stretch and
+// shrink with the scheduler's period as the runnable task count changes.
+#include <gtest/gtest.h>
+
+#include "src/core/ns_monitor.h"
+#include "src/sim/engine.h"
+#include "tests/testing/fake_consumer.h"
+
+namespace arv::core {
+namespace {
+
+using arv::testing::FakeConsumer;
+using namespace arv::units;
+
+struct Fixture {
+  Fixture()
+      : tree(20), sched(tree, 20), mm(tree, mem_config()), monitor(tree, sched, mm) {
+    engine.add_component(&sched);
+    engine.add_component(&mm);
+    engine.add_component(&monitor);
+  }
+
+  static mem::Config mem_config() {
+    mem::Config config;
+    config.total_ram = 32 * GiB;
+    return config;
+  }
+
+  sim::Engine engine{1 * msec};
+  cgroup::Tree tree;
+  sched::FairScheduler sched;
+  mem::MemoryManager mm;
+  NsMonitor monitor;
+};
+
+TEST(UpdateTimer, IntervalStretchesWithRunnableTasks) {
+  Fixture f;
+  const auto cg = f.tree.create("a");
+  auto ns = std::make_shared<SysNamespace>(cg, Params{});
+  f.monitor.register_ns(ns);
+  FakeConsumer light(4);
+  f.sched.attach(cg, &light);
+  f.engine.run_for(1 * sec);
+  const auto updates_light = ns->cpu_updates();  // ~1s / 24ms ≈ 41
+
+  light.set_threads(32);  // period becomes 3ms * 32 = 96ms
+  const auto base = ns->cpu_updates();
+  f.engine.run_for(1 * sec);
+  const auto updates_heavy = ns->cpu_updates() - base;
+  EXPECT_GT(updates_light, 3 * updates_heavy);
+}
+
+TEST(UpdateTimer, IntervalShrinksBackWhenLoadDrops) {
+  Fixture f;
+  const auto cg = f.tree.create("a");
+  auto ns = std::make_shared<SysNamespace>(cg, Params{});
+  f.monitor.register_ns(ns);
+  FakeConsumer heavy(64);
+  f.sched.attach(cg, &heavy);
+  f.engine.run_for(1 * sec);
+  heavy.set_threads(2);
+  const auto base = ns->cpu_updates();
+  f.engine.run_for(1 * sec);
+  // Back at the 24 ms period: ~41 updates a second again.
+  EXPECT_GT(ns->cpu_updates() - base, 30u);
+}
+
+TEST(UpdateTimer, EveryRegisteredViewUpdatedEachRound) {
+  Fixture f;
+  std::vector<std::shared_ptr<SysNamespace>> views;
+  for (int i = 0; i < 6; ++i) {
+    const auto cg = f.tree.create("c" + std::to_string(i));
+    views.push_back(std::make_shared<SysNamespace>(cg, Params{}));
+    f.monitor.register_ns(views.back());
+  }
+  f.engine.run_for(500 * msec);
+  const auto expected = views.front()->cpu_updates();
+  EXPECT_GT(expected, 0u);
+  for (const auto& view : views) {
+    EXPECT_EQ(view->cpu_updates(), expected);
+  }
+}
+
+TEST(UpdateTimer, LateRegistrationCatchesTheNextRound) {
+  Fixture f;
+  f.engine.run_for(500 * msec);
+  const auto cg = f.tree.create("late");
+  auto ns = std::make_shared<SysNamespace>(cg, Params{});
+  f.monitor.register_ns(ns);
+  f.engine.run_for(100 * msec);
+  EXPECT_GE(ns->cpu_updates(), 2u);
+}
+
+}  // namespace
+}  // namespace arv::core

@@ -151,13 +151,17 @@ TEST(TraceRecorder, StoppedContainerSeriesRetireAndFlatline) {
   auto& c = runtime.run({.name = "gone"});
   host.run_for(10 * msec);
   const auto h = host.trace()->find("gone.e_cpu");
+  const auto hm = host.trace()->find("gone.mem_usage");
   ASSERT_TRUE(h.has_value());
+  ASSERT_TRUE(hm.has_value());
   const std::int64_t before = host.trace()->latest(*h);
+  const std::int64_t mem_before = host.trace()->latest(*hm);
 
-  c.stop();
+  c.stop();  // retires the container's series; stop() also uncharges memory
   host.run_for(10 * msec);
   EXPECT_EQ(host.trace()->sample_count(), 20u);
   EXPECT_EQ(host.trace()->latest(*h), before);
+  EXPECT_EQ(host.trace()->latest(*hm), mem_before);
 }
 
 // --- TraceAssert matchers ---------------------------------------------------
@@ -271,6 +275,12 @@ TEST(Golden, DiffReportsFirstMismatchWithLineNumbers) {
   EXPECT_NE(diff.find("line 2"), std::string::npos);
   EXPECT_NE(diff.find("B"), std::string::npos);
   EXPECT_TRUE(diff_lines(expected, expected).empty());
+}
+
+TEST(Golden, DiffReportsTrailingNewlineOnlyMismatch) {
+  const std::string diff = diff_lines("a\nb\n", "a\nb");
+  EXPECT_FALSE(diff.empty());
+  EXPECT_NE(diff.find("trailing newline"), std::string::npos);
 }
 
 TEST(Golden, MissingGoldenFailsWithInstructions) {
