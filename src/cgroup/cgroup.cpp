@@ -26,6 +26,7 @@ CgroupId Tree::create(const std::string& name, CgroupId parent) {
   const CgroupId id = next_id_++;
   slots_.push_back(std::make_unique<Cgroup>(id, name, parent));
   get_mutable(parent).children_.push_back(id);
+  total_shares_ += get(id).cpu().shares;
   notify(EventKind::kCreated, id, name);
   return id;
 }
@@ -40,6 +41,7 @@ void Tree::destroy(CgroupId id) {
   // aggregate state (total shares, sibling counts) see the post-destroy
   // world; the name travels with the event for cleanup handlers.
   const std::string name = get(id).name();
+  total_shares_ -= get(id).cpu().shares;
   slots_[static_cast<std::size_t>(id)].reset();
   notify(EventKind::kDestroyed, id, name);
 }
@@ -73,6 +75,9 @@ CgroupId Tree::find(const std::string& name, CgroupId parent) const {
 
 void Tree::set_cpu_shares(CgroupId id, std::int64_t shares) {
   ARV_ASSERT_MSG(shares >= 2, "kernel clamps cpu.shares to >= 2");
+  if (id != kRootCgroup) {
+    total_shares_ += shares - get(id).cpu().shares;
+  }
   get_mutable(id).cpu_.shares = shares;
   notify(EventKind::kCpuChanged, id, get(id).name());
 }
@@ -156,14 +161,6 @@ std::vector<CgroupId> Tree::all_ids() const {
 }
 
 void Tree::subscribe(Listener listener) { listeners_.push_back(std::move(listener)); }
-
-std::int64_t Tree::total_shares() const {
-  std::int64_t total = 0;
-  for (const CgroupId id : all_ids()) {
-    total += get(id).cpu().shares;
-  }
-  return total;
-}
 
 void Tree::notify(EventKind kind, CgroupId id, const std::string& name) {
   const Event event{kind, id, name};

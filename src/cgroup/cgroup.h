@@ -136,8 +136,10 @@ class Tree {
   void subscribe(Listener listener);
 
   /// Sum of cpu.shares over all non-root cgroups — the denominator of
-  /// Algorithm 1's share fraction.
-  std::int64_t total_shares() const;
+  /// Algorithm 1's share fraction. O(1): the sum is maintained across
+  /// create/destroy/set_cpu_shares instead of being re-derived per query,
+  /// so per-event bound refreshes don't cost O(containers) each.
+  std::int64_t total_shares() const { return total_shares_; }
 
  private:
   Cgroup& get_mutable(CgroupId id);
@@ -147,6 +149,7 @@ class Tree {
   CgroupId next_id_ = 1;
   std::vector<std::unique_ptr<Cgroup>> slots_;  // index == id; null when destroyed
   std::vector<Listener> listeners_;
+  std::int64_t total_shares_ = 0;  // Σ cpu.shares over live non-root cgroups
 };
 
 }  // namespace arv::cgroup

@@ -17,7 +17,7 @@ Host::Host(const HostConfig& config)
       scheduler_(tree_, config.cpus),
       memory_(tree_, with_ram(config.mem, config.ram)),
       processes_(),
-      monitor_(tree_, scheduler_, memory_),
+      monitor_(engine_, tree_, scheduler_, memory_),
       sysfs_(processes_, tree_, scheduler_, memory_, monitor_) {
   engine_.add_component(&scheduler_);
   engine_.add_component(&memory_);

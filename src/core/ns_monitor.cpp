@@ -5,12 +5,16 @@
 
 namespace arv::core {
 
-NsMonitor::NsMonitor(cgroup::Tree& tree, sched::FairScheduler& scheduler,
-                     mem::MemoryManager& memory)
-    : tree_(tree), scheduler_(scheduler), memory_(memory) {
+NsMonitor::NsMonitor(const sim::Engine& engine, cgroup::Tree& tree,
+                     sched::FairScheduler& scheduler, mem::MemoryManager& memory)
+    : engine_(engine), tree_(tree), scheduler_(scheduler), memory_(memory) {
   // The paper's kernel hook: cgroups invokes ns_monitor when a control
   // group with a sys_namespace changes.
   tree_.subscribe([this](const cgroup::Event& event) { on_cgroup_event(event); });
+  // Baseline for per-round slack deltas. A monitor attached to a host that
+  // already accumulated idle time must not read that history as "the host
+  // had slack during my first window".
+  last_slack_ = scheduler_.total_slack();
 }
 
 void NsMonitor::register_ns(const std::shared_ptr<SysNamespace>& ns) {
@@ -21,6 +25,10 @@ void NsMonitor::register_ns(const std::shared_ptr<SysNamespace>& ns) {
   Tracked tracked;
   tracked.ns = ns;
   tracked.last_usage = scheduler_.total_usage(id);
+  // First observation window opens at registration, not at t=0: without the
+  // stamp a late-started container's first window spans the whole run so
+  // far, diluting utilization below the Algorithm 1 grow threshold.
+  tracked.last_update = engine_.now();
   auto [it, inserted] = namespaces_.emplace(id, std::move(tracked));
   ARV_ASSERT(inserted);
   ns->refresh_cpu_bounds(tree_);
@@ -90,29 +98,47 @@ std::shared_ptr<SysNamespace> NsMonitor::lookup(cgroup::CgroupId id) const {
 }
 
 void NsMonitor::on_cgroup_event(const cgroup::Event& event) {
-  if (event.kind == cgroup::EventKind::kDestroyed) {
-    unregister_ns(event.id);
-    // A membership change shifts every container's share fraction.
-    for (auto& [id, tracked] : namespaces_) {
-      tracked.ns->refresh_cpu_bounds(tree_);
+  // Per-event work is O(1): refresh only the namespace whose cgroup
+  // changed. Any event that can move the global share denominator marks the
+  // share-fraction bounds dirty; the O(registered) ripple to every peer is
+  // coalesced into one pass at the next update round.
+  switch (event.kind) {
+    case cgroup::EventKind::kDestroyed:
+      unregister_ns(event.id);
+      bounds_dirty_ = true;
+      break;
+    case cgroup::EventKind::kCreated:
+      bounds_dirty_ = true;
+      break;
+    case cgroup::EventKind::kCpuChanged: {
+      const auto it = namespaces_.find(event.id);
+      if (it != namespaces_.end()) {
+        it->second.ns->refresh_cpu_bounds(tree_);
+      }
+      bounds_dirty_ = true;
+      break;
     }
-    return;
-  }
-  if (event.kind == cgroup::EventKind::kCreated ||
-      event.kind == cgroup::EventKind::kCpuChanged) {
-    for (auto& [id, tracked] : namespaces_) {
-      tracked.ns->refresh_cpu_bounds(tree_);
-    }
-  }
-  if (event.kind == cgroup::EventKind::kMemChanged) {
-    const auto it = namespaces_.find(event.id);
-    if (it != namespaces_.end()) {
-      it->second.ns->refresh_mem_limits(tree_, memory_.total_ram());
+    case cgroup::EventKind::kMemChanged: {
+      const auto it = namespaces_.find(event.id);
+      if (it != namespaces_.end()) {
+        it->second.ns->refresh_mem_limits(tree_, memory_.total_ram());
+      }
+      break;
     }
   }
 }
 
 void NsMonitor::update_all(SimTime now) {
+  if (bounds_dirty_) {
+    // The coalesced share-fraction refresh: one pass over the registered
+    // namespaces regardless of how many cgroup events landed since the last
+    // round. Runs before the observations so this round's grow/shrink
+    // decisions see current bounds — exactly what per-event refresh gave.
+    for (auto& [id, tracked] : namespaces_) {
+      tracked.ns->refresh_cpu_bounds(tree_);
+    }
+    bounds_dirty_ = false;
+  }
   ++update_rounds_;
   const CpuTime slack_now = scheduler_.total_slack();
   const bool host_has_slack = slack_now > last_slack_;
@@ -142,14 +168,11 @@ void NsMonitor::update_all(SimTime now) {
 }
 
 void NsMonitor::tick(SimTime now, SimDuration /*dt*/) {
-  if (now < next_update_) {
-    return;
-  }
+  // The engine dispatches us once per tick_period() — the CFS scheduling
+  // period, re-read after every firing (§3.2: "its update interval is set
+  // to the scheduling period in Linux, during which all tasks are
+  // guaranteed to run at least once").
   update_all(now);
-  // §3.2: "its update interval is set to the scheduling period in Linux,
-  // during which all tasks are guaranteed to run at least once."
-  next_update_ =
-      now + (fixed_period_ > 0 ? fixed_period_ : scheduler_.scheduling_period());
 }
 
 }  // namespace arv::core

@@ -4,11 +4,18 @@
 //   1. React to cgroup-setting changes (container creation/termination,
 //      adjusted limits) by refreshing the affected sys_namespace's static
 //      bounds. This is wired through cgroup::Tree's notification hook.
+//      Only the directly-changed cgroup's namespace is refreshed inline —
+//      O(1) per event. The share-fraction ripple to every *other* namespace
+//      (Σ cpu.shares is a global denominator) is coalesced under a dirty
+//      flag and applied in one pass at the next update round, so a ramp of
+//      N container creations costs O(N) total instead of O(N²).
 //   2. Drive the periodic effective-CPU/effective-memory updates. The interval
 //      is the CFS scheduling period (24 ms for <= 8 runnable tasks, else
 //      3 ms * nr_running), re-read after every firing, "so any changes to
 //      the CPU allocation of containers are immediately reflected". The same
-//      interval is used for effective memory.
+//      interval is used for effective memory. The engine drives this cadence
+//      through tick_period(): the monitor is dispatched once per scheduling
+//      period rather than polling every tick.
 #pragma once
 
 #include <map>
@@ -26,11 +33,15 @@ namespace arv::core {
 
 class NsMonitor : public sim::TickComponent {
  public:
-  NsMonitor(cgroup::Tree& tree, sched::FairScheduler& scheduler,
-            mem::MemoryManager& memory);
+  /// `engine` supplies the current simulated time for registration stamps;
+  /// the monitor does not schedule through it.
+  NsMonitor(const sim::Engine& engine, cgroup::Tree& tree,
+            sched::FairScheduler& scheduler, mem::MemoryManager& memory);
 
   /// Attach a container's sys_namespace to the monitor. Bounds and limits
-  /// are refreshed immediately; periodic updates begin at the next firing.
+  /// are refreshed immediately; periodic updates begin at the next firing,
+  /// with the first CPU observation window starting *now* (a container
+  /// registered at t=10s must not be judged on a 10-second window).
   void register_ns(const std::shared_ptr<SysNamespace>& ns);
   void unregister_ns(cgroup::CgroupId id);
 
@@ -38,7 +49,12 @@ class NsMonitor : public sim::TickComponent {
   std::size_t registered_count() const { return namespaces_.size(); }
 
   /// Force an immediate update round (used by tests and the overhead bench).
+  /// Applies any coalesced bound refresh first.
   void update_all(SimTime now);
+
+  /// True when a cgroup event has invalidated the share-fraction bounds and
+  /// the coalesced refresh pass has not run yet.
+  bool bounds_refresh_pending() const { return bounds_dirty_; }
 
   /// Override the update interval with a fixed period instead of tracking
   /// the scheduler's period (§3.2). 0 restores the paper's behaviour.
@@ -56,6 +72,10 @@ class NsMonitor : public sim::TickComponent {
   // --- sim::TickComponent ---------------------------------------------------
   void tick(SimTime now, SimDuration dt) override;
   std::string name() const override { return "core.ns_monitor"; }
+  /// §3.2: one update round per CFS scheduling period.
+  SimDuration tick_period() const override {
+    return fixed_period_ > 0 ? fixed_period_ : scheduler_.scheduling_period();
+  }
 
  private:
   struct Tracked {
@@ -68,13 +88,14 @@ class NsMonitor : public sim::TickComponent {
   void on_cgroup_event(const cgroup::Event& event);
   void register_ns_trace(Tracked& tracked);
 
+  const sim::Engine& engine_;
   cgroup::Tree& tree_;
   sched::FairScheduler& scheduler_;
   mem::MemoryManager& memory_;
   std::map<cgroup::CgroupId, Tracked> namespaces_;
-  SimTime next_update_ = 0;
   SimDuration fixed_period_ = 0;
   CpuTime last_slack_ = 0;
+  bool bounds_dirty_ = false;
   std::uint64_t update_rounds_ = 0;
   obs::TraceRecorder* trace_ = nullptr;  ///< not owned; may be null
 };

@@ -63,6 +63,9 @@ class TraceRecorder final : public sim::TickComponent {
   // --- sampling -------------------------------------------------------------
   void tick(SimTime now, SimDuration dt) override;
   std::string name() const override { return "obs.trace"; }
+  /// The engine only needs to dispatch the recorder at the sampling cadence
+  /// (0 = every tick).
+  SimDuration tick_period() const override { return config_.sample_interval; }
 
   /// Record one row right now regardless of the sample interval.
   void sample_now(SimTime now);

@@ -12,15 +12,19 @@ Engine::Engine(SimDuration tick_length) : tick_length_(tick_length) {
 
 void Engine::add_component(TickComponent* component) {
   ARV_ASSERT(component != nullptr);
-  ARV_ASSERT_MSG(std::find(components_.begin(), components_.end(), component) ==
-                     components_.end(),
+  ARV_ASSERT_MSG(registry_.find(component) == registry_.end(),
                  "component registered twice");
-  components_.push_back(component);
+  const std::uint64_t seq = next_component_seq_++;
+  registry_.emplace(component, seq);
+  // First dispatch on the tick after registration: mid-step now_ is already
+  // the current tick, between steps it is the last completed one — either
+  // way now_ + tick_length_ is the next tick processed.
+  dispatch_.push(Dispatch{now_ + tick_length_, seq, now_, component});
 }
 
 void Engine::remove_component(TickComponent* component) {
-  components_.erase(std::remove(components_.begin(), components_.end(), component),
-                    components_.end());
+  // Queue entries are invalidated lazily via the registry; see Dispatch.
+  registry_.erase(component);
 }
 
 void Engine::schedule_at(SimTime when, std::function<void()> fn) {
@@ -47,10 +51,23 @@ void Engine::step() {
   now_ += tick_length_;
   ++ticks_;
   fire_due_events();
-  // Snapshot so that components added/removed mid-tick take effect next tick.
-  const std::vector<TickComponent*> snapshot = components_;
-  for (TickComponent* component : snapshot) {
-    component->tick(now_, tick_length_);
+  while (!dispatch_.empty() && dispatch_.top().when <= now_) {
+    const Dispatch due = dispatch_.top();
+    dispatch_.pop();
+    const auto it = registry_.find(due.component);
+    if (it == registry_.end() || it->second != due.seq) {
+      continue;  // removed (or removed and re-registered) — stale entry
+    }
+    due.component->tick(now_, now_ - due.last);
+    // tick() may have removed the component (even itself); only a
+    // still-live registration is re-armed. Entries added mid-tick by
+    // add_component are due next tick, so the drain terminates.
+    const auto live = registry_.find(due.component);
+    if (live != registry_.end() && live->second == due.seq) {
+      const SimDuration period = std::max(due.component->tick_period(),
+                                          tick_length_);
+      dispatch_.push(Dispatch{now_ + period, due.seq, now_, due.component});
+    }
   }
 }
 

@@ -4,17 +4,20 @@
 
 namespace arv::vfs {
 
-void PseudoFs::register_file(const std::string& path, FileProvider provider) {
+void PseudoFs::register_file(const std::string& path, FileProvider provider,
+                             const Generation* generation) {
   ARV_ASSERT(!path.empty() && path.front() == '/');
   ARV_ASSERT(provider != nullptr);
-  files_[path] = Entry{std::move(provider), nullptr};
+  files_[path] = Entry{std::move(provider), nullptr, generation, std::nullopt, 0};
 }
 
 void PseudoFs::register_writable(const std::string& path, FileProvider provider,
-                                 WriteHandler on_write) {
+                                 WriteHandler on_write,
+                                 const Generation* generation) {
   ARV_ASSERT(!path.empty() && path.front() == '/');
   ARV_ASSERT(provider != nullptr && on_write != nullptr);
-  files_[path] = Entry{std::move(provider), std::move(on_write)};
+  files_[path] =
+      Entry{std::move(provider), std::move(on_write), generation, std::nullopt, 0};
 }
 
 void PseudoFs::remove(const std::string& path) { files_.erase(path); }
@@ -37,7 +40,20 @@ std::optional<std::string> PseudoFs::read(const std::string& path) const {
   if (it == files_.end()) {
     return std::nullopt;
   }
-  return it->second.provider();
+  const Entry& entry = it->second;
+  if (entry.generation == nullptr) {
+    return entry.provider();
+  }
+  if (entry.rendered.has_value() && entry.rendered_gen == *entry.generation) {
+    ++cache_hits_;
+    return entry.rendered;
+  }
+  // Snapshot the counter before rendering: a provider that bumps it mid-render
+  // (config read triggering a lazy recompute) invalidates this render.
+  const Generation gen = *entry.generation;
+  entry.rendered = entry.provider();
+  entry.rendered_gen = gen;
+  return entry.rendered;
 }
 
 bool PseudoFs::write(const std::string& path, std::string_view value) {

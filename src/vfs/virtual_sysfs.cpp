@@ -30,9 +30,9 @@ std::string cpuinfo_for(int cpus) {
 }
 
 std::optional<std::int64_t> parse_i64(std::string_view text) {
-  while (!text.empty() && (text.back() == '\n' || text.back() == ' ')) {
-    text.remove_suffix(1);
-  }
+  // The kernel accepts surrounding whitespace on knob writes (`echo " 4" >
+  // cpu.shares` works), so trim both ends, not just trailing newlines.
+  text = trim(text);
   std::int64_t value = 0;
   const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc{} || ptr != text.data() + text.size()) {
@@ -53,6 +53,9 @@ VirtualSysfs::VirtualSysfs(proc::ProcessTable& processes, cgroup::Tree& tree,
       monitor_(monitor) {
   build_host_files();
   tree_.subscribe([this](const cgroup::Event& event) {
+    // Any cgroup event may change what a config-derived pseudo-file renders;
+    // bumping the generation invalidates every cached render at once.
+    ++config_gen_;
     if (event.kind == cgroup::EventKind::kDestroyed) {
       // Knob files of a destroyed cgroup disappear, as in the real sysfs.
       fs_.remove_subtree("/sys/fs/cgroup/cpu/" + event.name + "/");
@@ -72,13 +75,25 @@ std::string VirtualSysfs::meminfo_for(Bytes total, Bytes free) const {
       static_cast<long long>(free / 1024));
 }
 
+const std::string& VirtualSysfs::cpuinfo_cached(int cpus) const {
+  auto it = cpuinfo_cache_.find(cpus);
+  if (it == cpuinfo_cache_.end()) {
+    it = cpuinfo_cache_.emplace(cpus, cpuinfo_for(cpus)).first;
+  }
+  return it->second;
+}
+
 void VirtualSysfs::build_host_files() {
-  fs_.register_file(kCpuOnlinePath, [this] {
-    return CpuSet::all(scheduler_.online_cpus()).to_string() + "\n";
-  });
-  fs_.register_file("/sys/devices/system/cpu/possible", [this] {
-    return CpuSet::all(scheduler_.online_cpus()).to_string() + "\n";
-  });
+  // cpu topology files are pure configuration — cached under config_gen_.
+  // meminfo/loadavg report live accounting and must render on every read.
+  fs_.register_file(
+      kCpuOnlinePath,
+      [this] { return CpuSet::all(scheduler_.online_cpus()).to_string() + "\n"; },
+      &config_gen_);
+  fs_.register_file(
+      "/sys/devices/system/cpu/possible",
+      [this] { return CpuSet::all(scheduler_.online_cpus()).to_string() + "\n"; },
+      &config_gen_);
   fs_.register_file(kMeminfoPath, [this] {
     return meminfo_for(memory_.total_ram(), memory_.free_memory());
   });
@@ -87,8 +102,9 @@ void VirtualSysfs::build_host_files() {
     return strf("%.2f %.2f %.2f %d/%zu 0\n", load, load, load,
                 scheduler_.nr_running(), processes_.live_count());
   });
-  fs_.register_file(kCpuinfoPath,
-                    [this] { return cpuinfo_for(scheduler_.online_cpus()); });
+  fs_.register_file(
+      kCpuinfoPath, [this] { return cpuinfo_cached(scheduler_.online_cpus()); },
+      &config_gen_);
 }
 
 void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
@@ -106,7 +122,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         }
         tree_.set_cpu_shares(id, *value);
         return true;
-      });
+      },
+      &config_gen_);
   fs_.register_writable(
       cpu_dir + "cpu.cfs_quota_us",
       [this, id] {
@@ -120,7 +137,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         }
         tree_.set_cfs_quota(id, *value == -1 ? kUnlimited : *value);
         return true;
-      });
+      },
+      &config_gen_);
   fs_.register_writable(
       cpu_dir + "cpu.cfs_period_us",
       [this, id] { return strf("%lld\n", static_cast<long long>(tree_.get(id).cpu().cfs_period_us)); },
@@ -131,7 +149,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         }
         tree_.set_cfs_period(id, *value);
         return true;
-      });
+      },
+      &config_gen_);
 
   fs_.register_writable(
       "/sys/fs/cgroup/cpuset/" + name + "/cpuset.cpus",
@@ -143,7 +162,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         }
         tree_.set_cpuset(id, *mask);
         return true;
-      });
+      },
+      &config_gen_);
 
   const std::string mem_dir = "/sys/fs/cgroup/memory/" + name + "/";
   fs_.register_writable(
@@ -156,7 +176,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         }
         tree_.set_mem_limit(id, *value);
         return true;
-      });
+      },
+      &config_gen_);
   fs_.register_writable(
       mem_dir + "memory.soft_limit_in_bytes",
       [this, id] {
@@ -169,7 +190,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         }
         tree_.set_mem_soft_limit(id, *value);
         return true;
-      });
+      },
+      &config_gen_);
   fs_.register_file(mem_dir + "memory.usage_in_bytes",
                     [this, id] { return strf("%lld\n", static_cast<long long>(memory_.usage(id))); });
 
@@ -207,7 +229,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         }
         tree_.set_cfs_quota(id, quota);
         return true;
-      });
+      },
+      &config_gen_);
   fs_.register_writable(
       v2_dir + "cpu.weight",
       [this, id] {
@@ -224,7 +247,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         // Inverse of the kernel mapping: shares = 2 + (weight - 1)*262142/9999.
         tree_.set_cpu_shares(id, 2 + (*weight - 1) * 262142 / 9999);
         return true;
-      });
+      },
+      &config_gen_);
   fs_.register_writable(
       v2_dir + "memory.max",
       [this, id] {
@@ -243,7 +267,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         }
         tree_.set_mem_limit(id, *value);
         return true;
-      });
+      },
+      &config_gen_);
   fs_.register_writable(
       v2_dir + "memory.low",
       [this, id] {
@@ -258,7 +283,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
         }
         tree_.set_mem_soft_limit(id, *value);
         return true;
-      });
+      },
+      &config_gen_);
   fs_.register_file(v2_dir + "memory.current", [this, id] {
     return strf("%lld\n", static_cast<long long>(memory_.usage(id)));
   });
@@ -293,7 +319,7 @@ std::optional<std::string> VirtualSysfs::read(proc::Pid pid,
       return meminfo_for(total, std::max<Bytes>(0, total - used));
     }
     if (path == kCpuinfoPath) {
-      return cpuinfo_for(ns->effective_cpus());
+      return cpuinfo_cached(ns->effective_cpus());
     }
     if (path.rfind(kTracePrefix, 0) == 0) {
       if (const auto value = trace_counter_for(*ns, path.substr(

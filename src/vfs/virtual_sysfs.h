@@ -9,6 +9,7 @@
 // top of the same redirection.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 
@@ -68,6 +69,10 @@ class VirtualSysfs {
   void build_host_files();
   std::shared_ptr<core::SysNamespace> sys_ns_of(proc::Pid pid) const;
   std::string meminfo_for(Bytes total, Bytes free) const;
+  /// /proc/cpuinfo rendered for `cpus` visible processors. The text is a pure
+  /// function of the count, so it is memoized — containers re-reading cpuinfo
+  /// between effective-view changes (and hosts, ever) hit the cache.
+  const std::string& cpuinfo_cached(int cpus) const;
   /// Value of one /sys/arv/trace/<counter> file for a container namespace.
   std::optional<std::int64_t> trace_counter_for(const core::SysNamespace& ns,
                                                 const std::string& counter) const;
@@ -79,6 +84,11 @@ class VirtualSysfs {
   core::NsMonitor& monitor_;
   const obs::TraceRecorder* trace_ = nullptr;  ///< not owned; may be null
   PseudoFs fs_;
+  /// Bumped on every cgroup event; knob files and other config-derived
+  /// pseudo-files register against it so their rendered text is cached
+  /// between configuration changes.
+  Generation config_gen_ = 1;
+  mutable std::map<int, std::string> cpuinfo_cache_;
 };
 
 }  // namespace arv::vfs

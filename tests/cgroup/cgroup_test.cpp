@@ -140,6 +140,27 @@ TEST(CgroupTree, TotalSharesSumsNonRoot) {
   EXPECT_EQ(tree.total_shares(), 1024 + 2048);
 }
 
+TEST(CgroupTree, TotalSharesStaysConsistentUnderChurn) {
+  Tree tree(8);
+  std::vector<CgroupId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(tree.create("c" + std::to_string(i)));
+  }
+  tree.set_cpu_shares(ids[2], 512);
+  tree.set_cpu_shares(ids[5], 4096);
+  tree.destroy(ids[3]);
+  tree.set_cpu_shares(ids[0], 2);
+  tree.set_cpu_shares(kRootCgroup, 4096);  // root never enters the sum
+  // The incrementally-maintained total must match a from-scratch sum.
+  std::int64_t manual = 0;
+  for (const CgroupId id : tree.all_ids()) {
+    if (id != kRootCgroup) {
+      manual += tree.get(id).cpu().shares;
+    }
+  }
+  EXPECT_EQ(tree.total_shares(), manual);
+}
+
 TEST(CgroupTree, EventsFireOnLifecycleAndKnobs) {
   Tree tree(8);
   std::vector<Event> events;

@@ -148,7 +148,10 @@ TEST(ContainerRuntime, ManyContainersShareFractionUpdates) {
     config.name = "c" + std::to_string(i);
     f.runtime.run(config);
   }
-  // 4 equal containers on 8 CPUs: guaranteed share = 2.
+  // 4 equal containers on 8 CPUs: guaranteed share = 2. The peer ripple is
+  // coalesced, so it lands at the next monitor update round, not inline in
+  // run() — drive the engine past one scheduling period.
+  f.host.engine().run_for(50 * msec);
   EXPECT_EQ(first.resource_view()->cpu_bounds().lower, 2);
 }
 

@@ -13,7 +13,8 @@ using namespace arv::units;
 
 struct Fixture {
   Fixture()
-      : tree(20), sched(tree, 20), mm(tree, mem_config()), monitor(tree, sched, mm) {
+      : tree(20), sched(tree, 20), mm(tree, mem_config()),
+        monitor(engine, tree, sched, mm) {
     engine.add_component(&sched);
     engine.add_component(&mm);
     engine.add_component(&monitor);
@@ -69,6 +70,13 @@ TEST(NsMonitor, NewContainerReshapesPeersShareFraction) {
   const auto a = f.add_container("a");
   ASSERT_EQ(a->cpu_bounds().lower, 20);
   f.add_container("b");
+  // The peer ripple is coalesced: creating "b" marks the bounds dirty but
+  // does O(1) immediate work; "a" still sees its old share fraction.
+  EXPECT_TRUE(f.monitor.bounds_refresh_pending());
+  EXPECT_EQ(a->cpu_bounds().lower, 20);
+  // The next update round applies the refresh before any decisions.
+  f.monitor.update_all(1 * msec);
+  EXPECT_FALSE(f.monitor.bounds_refresh_pending());
   EXPECT_EQ(a->cpu_bounds().lower, 10);  // share fraction halved
 }
 
@@ -151,6 +159,51 @@ TEST(NsMonitor, StaticViewRegistersButStaysStatic) {
   f.tree.create("peer");  // share fraction drops; static view ignores it
   f.engine.run_for(2 * sec);
   EXPECT_EQ(ns->effective_cpus(), 20);
+}
+
+TEST(NsMonitor, LateRegistrationWindowStartsAtRegistration) {
+  Fixture f;
+  f.tree.create("peer");  // share denominator: a's lower (10) < upper (20)
+  f.engine.run_for(10 * sec);  // host runs long before the container starts
+  const auto a = f.add_container("a");
+  ASSERT_EQ(a->effective_cpus(), 10);
+  FakeConsumer busy(12);
+  f.sched.attach(a->cgroup(), &busy);
+  // The first observation window must span registration -> first round
+  // (milliseconds), not t=0 -> first round (10 s). 12 busy threads saturate
+  // the e_cpu = 10 view, so Algorithm 1 grows it on the very first round; a
+  // 10-second window would dilute utilization to ~0 and keep the view stuck.
+  f.engine.run_for(30 * msec);
+  ASSERT_GE(a->cpu_updates(), 1u);
+  EXPECT_GT(a->effective_cpus(), 10);
+}
+
+TEST(NsMonitor, MonitorAttachedLateIgnoresHistoricSlack) {
+  sim::Engine engine{1 * msec};
+  cgroup::Tree tree(20);
+  sched::FairScheduler sched(tree, 20);
+  mem::MemoryManager mm(tree, Fixture::mem_config());
+  engine.add_component(&sched);
+  engine.add_component(&mm);
+  engine.run_for(1 * sec);  // idle host: 20 CPU-seconds of slack accrue
+  ASSERT_GT(sched.total_slack(), 0);
+
+  NsMonitor monitor(engine, tree, sched, mm);
+  engine.add_component(&monitor);
+  const auto a_cg = tree.create("a");
+  tree.create("b");  // a's lower bound (10) is below its upper (20)
+  auto ns = std::make_shared<SysNamespace>(a_cg, Params{});
+  monitor.register_ns(ns);
+  ASSERT_EQ(ns->effective_cpus(), 10);
+  // 30 threads saturate all 20 CPUs: from here on the host accrues NO slack.
+  FakeConsumer busy(30);
+  sched.attach(a_cg, &busy);
+  engine.run_for(5 * msec);  // exactly one update round at this period
+  ASSERT_GE(ns->cpu_updates(), 1u);
+  // The idle second before the monitor existed must not read as "the host
+  // had slack during my first window": the seeded baseline sees zero new
+  // slack, so the view holds its guaranteed share instead of growing.
+  EXPECT_EQ(ns->effective_cpus(), 10);
 }
 
 TEST(NsMonitor, UpdateAllCanBeForcedManually) {

@@ -14,7 +14,8 @@ using namespace arv::units;
 
 struct Fixture {
   Fixture()
-      : tree(20), sched(tree, 20), mm(tree, mem_config()), monitor(tree, sched, mm) {
+      : tree(20), sched(tree, 20), mm(tree, mem_config()),
+        monitor(engine, tree, sched, mm) {
     engine.add_component(&sched);
     engine.add_component(&mm);
     engine.add_component(&monitor);

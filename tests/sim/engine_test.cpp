@@ -131,6 +131,111 @@ TEST(Engine, PendingEventsCount) {
   EXPECT_EQ(engine.pending_events(), 1u);
 }
 
+// Runs an action on its Nth tick — for removal-during-dispatch tests.
+class Trigger : public TickComponent {
+ public:
+  Trigger(int fire_on, std::function<void()> action)
+      : fire_on_(fire_on), action_(std::move(action)) {}
+  void tick(SimTime, SimDuration) override {
+    if (++ticks_ == fire_on_) {
+      action_();
+    }
+  }
+  std::string name() const override { return "trigger"; }
+  int ticks() const { return ticks_; }
+
+ private:
+  int fire_on_;
+  std::function<void()> action_;
+  int ticks_ = 0;
+};
+
+class Periodic : public TickComponent {
+ public:
+  explicit Periodic(SimDuration period) : period_(period) {}
+  void tick(SimTime now, SimDuration dt) override {
+    times_.push_back(now);
+    dts_.push_back(dt);
+  }
+  SimDuration tick_period() const override { return period_; }
+  std::string name() const override { return "periodic"; }
+  void set_period(SimDuration period) { period_ = period; }
+  const std::vector<SimTime>& times() const { return times_; }
+  const std::vector<SimDuration>& dts() const { return dts_; }
+
+ private:
+  SimDuration period_;
+  std::vector<SimTime> times_;
+  std::vector<SimDuration> dts_;
+};
+
+TEST(Engine, ComponentMayRemoveItselfDuringTick) {
+  Engine engine(1000);
+  Trigger* self = nullptr;
+  Trigger suicidal(2, [&] { engine.remove_component(self); });
+  self = &suicidal;
+  engine.add_component(&suicidal);
+  engine.run_for(5000);  // must not crash or double-dispatch
+  EXPECT_EQ(suicidal.ticks(), 2);
+  EXPECT_EQ(engine.component_count(), 0u);
+}
+
+TEST(Engine, ComponentMayRemoveLaterComponentDuringTick) {
+  Engine engine(1000);
+  std::vector<std::string> log;
+  Recorder victim("victim", &log);
+  // Registered first, so it runs before `victim` in the same tick; the
+  // removal must keep `victim` from being dispatched later that tick.
+  Trigger assassin(1, [&] { engine.remove_component(&victim); });
+  engine.add_component(&assassin);
+  engine.add_component(&victim);
+  engine.run_for(3000);
+  EXPECT_EQ(victim.ticks(), 0);
+}
+
+TEST(Engine, ReAddedComponentTicksAgain) {
+  Engine engine(1000);
+  std::vector<std::string> log;
+  Recorder a("a", &log);
+  engine.add_component(&a);
+  engine.step();
+  engine.remove_component(&a);
+  engine.add_component(&a);
+  engine.step();
+  EXPECT_EQ(a.ticks(), 2);
+}
+
+TEST(Engine, PeriodicComponentFiresAtItsPeriod) {
+  Engine engine(1000);
+  Periodic slow(3000);
+  engine.add_component(&slow);
+  engine.run_for(10000);
+  // First dispatch at the tick after registration, then every period.
+  EXPECT_EQ(slow.times(), (std::vector<SimTime>{1000, 4000, 7000, 10000}));
+  EXPECT_EQ(slow.dts(), (std::vector<SimDuration>{1000, 3000, 3000, 3000}));
+}
+
+TEST(Engine, PeriodIsReQueriedAfterEachDispatch) {
+  Engine engine(1000);
+  Periodic dynamic(1000);
+  engine.add_component(&dynamic);
+  engine.run_for(3000);  // fires at 1000, 2000, 3000
+  dynamic.set_period(4000);
+  // The dispatch at 4000 was queued with the old period; the new period is
+  // picked up when it fires, so the following dispatch lands at 8000.
+  engine.run_for(8000);
+  EXPECT_EQ(dynamic.times(),
+            (std::vector<SimTime>{1000, 2000, 3000, 4000, 8000}));
+}
+
+TEST(Engine, SubTickPeriodClampsToTickLength) {
+  Engine engine(1000);
+  Periodic eager(1);  // wants sub-tick cadence; engine can't go finer
+  engine.add_component(&eager);
+  engine.run_for(3000);
+  EXPECT_EQ(eager.times(), (std::vector<SimTime>{1000, 2000, 3000}));
+}
+
 TEST(Engine, SelfReschedulingTimerPattern) {
   Engine engine(1000);
   int fires = 0;

@@ -159,6 +159,64 @@ TEST(VirtualSysfs, KnobWriteRejectsGarbage) {
       f.host.sysfs().write("/sys/fs/cgroup/cpuset/web/cpuset.cpus", "0-99"));
 }
 
+TEST(VirtualSysfs, KnobWriteAcceptsSurroundingWhitespace) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.name = "web";
+  auto& c = f.run(config);
+  // `echo " 512" > cpu.shares` reaches the handler with leading whitespace;
+  // the kernel accepts it, so the shim must too.
+  ASSERT_TRUE(f.host.sysfs().write("/sys/fs/cgroup/cpu/web/cpu.shares", " 512\n"));
+  EXPECT_EQ(f.host.cgroups().get(c.cgroup()).cpu().shares, 512);
+  ASSERT_TRUE(f.host.sysfs().write("/sys/fs/cgroup/cpu/web/cpu.cfs_quota_us",
+                                   "\t400000 "));
+  EXPECT_EQ(f.host.cgroups().get(c.cgroup()).cpu().cfs_quota_us, 400000);
+}
+
+TEST(VirtualSysfs, CachedKnobFilesStayFreshAcrossWrites) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.name = "web";
+  config.cpu_shares = 1024;
+  f.run(config);
+  const std::string path = "/sys/fs/cgroup/cpu/web/cpu.shares";
+  ASSERT_EQ(f.host.sysfs().read(proc::kHostInit, path), "1024\n");
+  // Repeat read served from the render cache...
+  const auto hits = f.host.sysfs().host_fs().render_cache_hits();
+  ASSERT_EQ(f.host.sysfs().read(proc::kHostInit, path), "1024\n");
+  EXPECT_GT(f.host.sysfs().host_fs().render_cache_hits(), hits);
+  // ...and the write-triggered cgroup event invalidates it.
+  ASSERT_TRUE(f.host.sysfs().write(path, "2048"));
+  EXPECT_EQ(f.host.sysfs().read(proc::kHostInit, path), "2048\n");
+}
+
+TEST(VirtualSysfs, CpuinfoTracksEffectiveViewChanges) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.name = "a";
+  config.cfs_quota_us = 400000;  // 4 effective CPUs
+  auto& c = f.run(config);
+  auto count_processors = [](const std::string& text) {
+    int count = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find("processor\t:", pos)) != std::string::npos) {
+      ++count;
+      pos += 1;
+    }
+    return count;
+  };
+  auto read_cpuinfo = [&] {
+    const auto info = f.host.sysfs().read(c.init_pid(), "/proc/cpuinfo");
+    return info ? count_processors(*info) : -1;
+  };
+  EXPECT_EQ(read_cpuinfo(), 4);
+  EXPECT_EQ(read_cpuinfo(), 4);  // memoized second read is identical
+  // Shrinking the quota shrinks the view; cpuinfo must follow immediately.
+  ASSERT_TRUE(
+      f.host.sysfs().write("/sys/fs/cgroup/cpu/a/cpu.cfs_quota_us", "200000"));
+  EXPECT_EQ(read_cpuinfo(), 2);
+}
+
 TEST(VirtualSysfs, StoppedContainerFilesDisappear) {
   Fixture f;
   container::ContainerConfig config;
