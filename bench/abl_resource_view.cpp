@@ -23,11 +23,19 @@ using namespace arv::bench;
 
 void ablation_view_modes() {
   print_header("Ablation A", "what the per-container view exports "
-                             "(5 containers, 10-core limits, same runtime)");
-  Table table({"benchmark", "no view (host values)", "static limits (LXCFS)",
-               "effective (paper)"});
+                             "(5 containers, 10-core limits, same runtime; "
+                             "one column per registered policy)");
+  // The old hard-coded none/LXCFS/adaptive triple, generalized: every policy
+  // in the registry gets a column, so a newly-registered policy shows up in
+  // the ablation without touching this file.
+  const auto policies = core::PolicyRegistry::instance().cpu_names();
+  std::vector<std::string> headers = {"benchmark", "no view (host values)"};
+  for (const auto& policy : policies) {
+    headers.push_back(policy);
+  }
+  Table table(headers);
   for (const auto& w : workloads::dacapo_suite()) {
-    auto run_mode = [&](bool view, core::ViewMode mode) {
+    auto run_policy = [&](bool view, const std::string& policy) {
       // dynamic_gc_threads off: the view is the *only* thread bound, so the
       // ablation isolates what the view exports.
       jvm::JvmFlags flags{.kind = jvm::JvmKind::kAdaptive,
@@ -37,21 +45,23 @@ void ablation_view_modes() {
                            [&](int, container::ContainerConfig& config) {
                              config.cfs_quota_us = 1000000;  // 10 cores
                              config.enable_resource_view = view;
-                             config.view_params.mode = mode;
+                             config.view_params.cpu_policy = policy;
+                             config.view_params.mem_policy = policy;
                            })
           .mean_exec_s;
     };
-    const double none = run_mode(false, core::ViewMode::kAdaptive);
-    const double lxcfs = run_mode(true, core::ViewMode::kStaticLimits);
-    const double adaptive = run_mode(true, core::ViewMode::kAdaptive);
-    table.add_row({w.name, "1.00", strf("%.2f", lxcfs / none),
-                   strf("%.2f", adaptive / none)});
+    const double none = run_policy(false, "paper");
+    std::vector<std::string> row = {w.name, "1.00"};
+    for (const auto& policy : policies) {
+      row.push_back(strf("%.2f", run_policy(true, policy) / none));
+    }
+    table.add_row(row);
   }
   std::fputs(table.to_ascii().c_str(), stdout);
   std::printf(
       "expected: exporting static limits helps a little (10 < 20 threads),\n"
-      "but only the effective view reflects the 4-core reality (§1's LXCFS\n"
-      "critique).\n");
+      "but only the adaptive policies reflect the 4-core reality (§1's\n"
+      "LXCFS critique).\n");
 }
 
 // --- B: UTIL_THRSHD and step size -------------------------------------------

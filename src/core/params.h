@@ -1,24 +1,27 @@
 // Tunables of the adaptive resource view, with the paper's defaults.
+//
+// Params travel with the container (ContainerConfig::view_params): the
+// policy *names* select which adaptation strategy the container runs (see
+// src/core/policy.h for the registry) and the knobs parameterize whichever
+// policies are selected. Both are runtime-writable through the
+// /sys/arv/policy/<container>/ pseudo-files; writes that fail valid() are
+// rejected with a write error, never silently accepted.
 #pragma once
+
+#include <string>
 
 #include "src/util/types.h"
 
 namespace arv::core {
 
-/// What the per-container view exports.
-enum class ViewMode {
-  /// The paper's system: effective capacity, continuously updated
-  /// (Algorithms 1 and 2).
-  kAdaptive,
-  /// LXCFS / cgroup-namespace behaviour (§1): export the *static* limits
-  /// set by the administrator — quota/cpuset CPUs and the hard memory
-  /// limit — with no awareness of actual allocation. The paper's point is
-  /// that this is not enough in a work-conserving multi-tenant host.
-  kStaticLimits,
-};
-
 struct Params {
-  ViewMode mode = ViewMode::kAdaptive;
+  /// Registry names of the per-container adaptation policies. The paper's
+  /// Algorithms 1/2 ("paper") are the default; "static" reproduces the
+  /// LXCFS / cgroup-namespace behaviour of §1 (export the administrator-set
+  /// limits, never react to allocation).
+  std::string cpu_policy = "paper";
+  std::string mem_policy = "paper";
+
   /// Algorithm 1's UTIL_THRSHD: grow effective CPU when window utilization
   /// of the current effective CPUs exceeds this (paper: 95%).
   double cpu_util_threshold = 0.95;
@@ -40,6 +43,33 @@ struct Params {
   /// impact staying above HIGH_MARK. Disable only for ablation — ungated
   /// growth expands straight into kswapd's territory.
   bool mem_prediction_gate = true;
+
+  /// "ewma" policy: smoothing factor for the exponentially-weighted moving
+  /// average of utilization (1.0 = unsmoothed, i.e. the paper's behaviour).
+  double ewma_alpha = 0.30;
+
+  /// "ewma" policy: release CPUs when *smoothed* utilization falls below
+  /// this (the hysteresis band is [cpu_down_threshold, cpu_util_threshold]).
+  double cpu_down_threshold = 0.50;
+
+  /// "ewma" policy: shed effective memory toward the soft limit when the
+  /// smoothed usage fraction falls below this.
+  double mem_down_threshold = 0.50;
+
+  /// "proportional" policy: gain applied to the utilization error when
+  /// sizing a step (higher = more aggressive convergence).
+  double prop_gain = 4.0;
+
+  /// All knobs inside their legal ranges. SysNamespace asserts this at
+  /// construction; the vfs knob files reject writes that would break it.
+  bool valid() const {
+    const auto unit = [](double v) { return v > 0.0 && v <= 1.0; };
+    return cpu_step >= 1 && unit(cpu_util_threshold) &&
+           unit(mem_use_threshold) && unit(mem_growth_frac) &&
+           unit(ewma_alpha) && unit(cpu_down_threshold) &&
+           unit(mem_down_threshold) && cpu_down_threshold <= cpu_util_threshold &&
+           prop_gain > 0.0;
+  }
 };
 
 }  // namespace arv::core

@@ -8,11 +8,69 @@
 namespace arv::core {
 
 SysNamespace::SysNamespace(cgroup::CgroupId cgroup, Params params)
-    : proc::Namespace(Kind::kSys), cgroup_(cgroup), params_(params) {
-  ARV_ASSERT(params.cpu_util_threshold > 0.0 && params.cpu_util_threshold <= 1.0);
-  ARV_ASSERT(params.mem_use_threshold > 0.0 && params.mem_use_threshold <= 1.0);
-  ARV_ASSERT(params.mem_growth_frac > 0.0 && params.mem_growth_frac <= 1.0);
-  ARV_ASSERT(params.cpu_step >= 1);
+    : proc::Namespace(Kind::kSys), cgroup_(cgroup), params_(std::move(params)) {
+  ARV_ASSERT(params_.valid());
+  cpu_policy_ = PolicyRegistry::instance().make_cpu(params_.cpu_policy, params_);
+  mem_policy_ = PolicyRegistry::instance().make_mem(params_.mem_policy, params_);
+  ARV_ASSERT(cpu_policy_ != nullptr);
+  ARV_ASSERT(mem_policy_ != nullptr);
+}
+
+SysNamespace::~SysNamespace() = default;
+
+bool SysNamespace::set_cpu_policy(const std::string& name) {
+  auto next = PolicyRegistry::instance().make_cpu(name, params_);
+  if (next == nullptr) {
+    return false;
+  }
+  params_.cpu_policy = name;
+  cpu_policy_ = std::move(next);
+  // Re-derive immediately: a switch to "static" must pin to the upper bound
+  // now, not at the next cgroup event.
+  apply_cpu_bounds();
+  return true;
+}
+
+bool SysNamespace::set_mem_policy(const std::string& name) {
+  auto next = PolicyRegistry::instance().make_mem(name, params_);
+  if (next == nullptr) {
+    return false;
+  }
+  params_.mem_policy = name;
+  mem_policy_ = std::move(next);
+  if (hard_limit_ > 0) {
+    apply_mem_limits();
+  }
+  return true;
+}
+
+bool SysNamespace::set_params(const Params& next) {
+  if (!next.valid()) {
+    return false;
+  }
+  auto cpu = PolicyRegistry::instance().make_cpu(next.cpu_policy, next);
+  auto mem = PolicyRegistry::instance().make_mem(next.mem_policy, next);
+  if (cpu == nullptr || mem == nullptr) {
+    return false;
+  }
+  params_ = next;
+  cpu_policy_ = std::move(cpu);
+  mem_policy_ = std::move(mem);
+  apply_cpu_bounds();
+  if (hard_limit_ > 0) {
+    apply_mem_limits();
+  }
+  return true;
+}
+
+void SysNamespace::apply_cpu_bounds() {
+  const CpuDecision d = cpu_policy_->on_bounds(bounds_, e_cpu_);
+  e_cpu_ = std::clamp(d.e_cpu, bounds_.lower, bounds_.upper);
+}
+
+void SysNamespace::apply_mem_limits() {
+  const MemDecision d = mem_policy_->on_limits(mem_bounds(), e_mem_);
+  e_mem_ = std::clamp(d.e_mem, soft_limit_, hard_limit_);
 }
 
 void SysNamespace::refresh_cpu_bounds(const cgroup::Tree& tree) {
@@ -35,17 +93,7 @@ void SysNamespace::refresh_cpu_bounds(const cgroup::Tree& tree) {
   bounds_.upper = std::max(1, std::min(quota_cpus, mask_cpus));
   ARV_ASSERT(bounds_.lower <= bounds_.upper);
 
-  if (params_.mode == ViewMode::kStaticLimits) {
-    // LXCFS-style: export the administrator-set limit, nothing else.
-    e_cpu_ = bounds_.upper;
-    return;
-  }
-  // Line 6 applies at creation; later setting changes clamp the current
-  // value into the new range without losing adaptive state.
-  if (e_cpu_ == 0) {
-    e_cpu_ = bounds_.lower;
-  }
-  e_cpu_ = std::clamp(e_cpu_, bounds_.lower, bounds_.upper);
+  apply_cpu_bounds();
 }
 
 void SysNamespace::refresh_mem_limits(const cgroup::Tree& tree, Bytes total_ram) {
@@ -57,94 +105,45 @@ void SysNamespace::refresh_mem_limits(const cgroup::Tree& tree, Bytes total_ram)
   // A container without a soft limit effectively has soft == hard (there is
   // nothing for kswapd's soft-limit pass to reclaim down to).
   soft_limit_ = std::min(mem.soft_limit_in_bytes, hard_limit_);
-  if (params_.mode == ViewMode::kStaticLimits) {
-    e_mem_ = hard_limit_;
-    return;
-  }
-  // Algorithm 2, line 3: initialize to the soft limit; on limit changes,
-  // re-clamp into the valid range.
-  if (e_mem_ == 0) {
-    e_mem_ = soft_limit_;
-  }
-  e_mem_ = std::clamp(e_mem_, soft_limit_, hard_limit_);
+  apply_mem_limits();
 }
 
 void SysNamespace::update_cpu(const CpuObservation& obs) {
   ARV_ASSERT(obs.window > 0);
   ++cpu_updates_;
-  if (params_.mode == ViewMode::kStaticLimits) {
-    return;  // static views never react to allocation
+  const int before = e_cpu_;
+  const CpuDecision d = cpu_policy_->update(bounds_, obs, before);
+  const int clamped = std::clamp(d.e_cpu, bounds_.lower, bounds_.upper);
+  Decision reason = d.reason;
+  if (clamped != d.e_cpu) {
+    // The static bounds, not the policy, determined the final value.
+    reason = Decision::kClamped;
+  } else if (clamped == before &&
+             (reason == Decision::kGrew || reason == Decision::kShrank)) {
+    reason = Decision::kHeld;  // the intended movement went nowhere
   }
-  if (obs.host_has_slack) {
-    // Lines 9-12: grow while the container saturates its effective CPUs and
-    // the host has idle capacity it could soak up (work conservation).
-    const double capacity =
-        static_cast<double>(e_cpu_) * static_cast<double>(obs.window);
-    const double utilization = static_cast<double>(obs.usage) / capacity;
-    if (utilization > params_.cpu_util_threshold && e_cpu_ < bounds_.upper) {
-      e_cpu_ = std::min(bounds_.upper, e_cpu_ + params_.cpu_step);
-    }
-  } else {
-    // Lines 14-15: the host is saturated; back off toward the guaranteed
-    // share so containers converge on an interference-free concurrency.
-    if (e_cpu_ > bounds_.lower) {
-      e_cpu_ = std::max(bounds_.lower, e_cpu_ - params_.cpu_step);
-    }
-  }
+  e_cpu_ = clamped;
+  cpu_decisions_.count(reason);
 }
 
 void SysNamespace::update_mem(const MemObservation& obs) {
   ++mem_updates_;
-  if (params_.mode == ViewMode::kStaticLimits) {
-    return;  // static views never react to allocation
-  }
   if (hard_limit_ <= 0) {
+    mem_decisions_.count(Decision::kHeld);
     return;  // limits not initialized yet
   }
-  if (obs.free <= obs.low_mark || obs.kswapd_active) {
-    // Line 13-14: memory shortage — fall back to the reclaim target so the
-    // runtime sheds the memory kswapd is about to steal anyway.
-    e_mem_ = soft_limit_;
-    prev_free_ = obs.free;
-    prev_usage_ = obs.usage;
-    return;
+  const Bytes before = e_mem_;
+  const MemDecision d = mem_policy_->update(mem_bounds(), obs, before);
+  const Bytes clamped = std::clamp(d.e_mem, soft_limit_, hard_limit_);
+  Decision reason = d.reason;
+  if (clamped != d.e_mem) {
+    reason = Decision::kClamped;
+  } else if (clamped == before &&
+             (reason == Decision::kGrew || reason == Decision::kShrank)) {
+    reason = Decision::kHeld;
   }
-  if (e_mem_ < hard_limit_ &&
-      static_cast<double>(obs.usage) >
-          params_.mem_use_threshold * static_cast<double>(e_mem_)) {
-    // Line 7: step toward the hard limit by 10% of the remaining headroom.
-    const Bytes delta = std::max<Bytes>(
-        units::page,
-        static_cast<Bytes>(static_cast<double>(hard_limit_ - e_mem_) *
-                           params_.mem_growth_frac));
-
-    // Line 8: predict the system-free-memory impact of granting `delta`,
-    // scaled by how much free memory moved per byte of container growth in
-    // the previous window. Guard degenerate windows (container shrank or
-    // free memory grew): then growth is presumed safe at 1:1.
-    double ratio = 1.0;
-    if (prev_free_.has_value() && prev_usage_.has_value() &&
-        obs.usage > *prev_usage_ && *prev_free_ > obs.free) {
-      ratio = static_cast<double>(*prev_free_ - obs.free) /
-              static_cast<double>(obs.usage - *prev_usage_);
-    }
-    const Bytes predicted_drop =
-        static_cast<Bytes>(ratio * static_cast<double>(delta));
-
-    // Line 9: only grow if the predicted free memory stays above HIGH_MARK,
-    // i.e. growth will not wake kswapd.
-    if (!params_.mem_prediction_gate || obs.free - predicted_drop > obs.high_mark) {
-      e_mem_ = std::min(hard_limit_, e_mem_ + delta);
-    }
-  }
-  // Snapshot only when usage actually moved: heap growth is bursty relative
-  // to the update period, and a zero-delta window would collapse the
-  // prediction ratio to its default, hiding the free-memory drain that
-  // co-growing containers cause (the very thing line 8 exists to catch).
-  if (!prev_usage_.has_value() || obs.usage != *prev_usage_) {
-    prev_free_ = obs.free;
-    prev_usage_ = obs.usage;
-  }
+  e_mem_ = clamped;
+  mem_decisions_.count(reason);
 }
 
 }  // namespace arv::core

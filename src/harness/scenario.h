@@ -21,6 +21,14 @@ struct JvmInstanceConfig {
   container::ContainerConfig container;
   jvm::JvmFlags flags;
   jvm::JavaWorkload workload;
+
+  /// Select the same registered adaptation policy for CPU and memory.
+  /// Returns *this for builder-style chaining.
+  JvmInstanceConfig& use_policy(const std::string& policy) {
+    container.view_params.cpu_policy = policy;
+    container.view_params.mem_policy = policy;
+    return *this;
+  }
 };
 
 struct JvmRunResult {
@@ -75,6 +83,13 @@ struct OmpInstanceConfig {
   omp::TeamStrategy strategy = omp::TeamStrategy::kStatic;
   omp::OmpWorkload workload;
   int fixed_threads = 0;
+
+  /// Select the same registered adaptation policy for CPU and memory.
+  OmpInstanceConfig& use_policy(const std::string& policy) {
+    container.view_params.cpu_policy = policy;
+    container.view_params.mem_policy = policy;
+    return *this;
+  }
 };
 
 struct OmpRunResult {

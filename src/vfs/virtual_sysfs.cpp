@@ -1,6 +1,7 @@
 #include "src/vfs/virtual_sysfs.h"
 
 #include <charconv>
+#include <cstdlib>
 
 #include "src/util/assert.h"
 #include "src/util/str.h"
@@ -29,6 +30,10 @@ std::string cpuinfo_for(int cpus) {
   return out;
 }
 
+/// The adaptation-policy control plane (§ policy layer): per-container
+/// policy selectors and Params knobs, runtime-writable like `docker update`.
+constexpr const char* kPolicyPrefix = "/sys/arv/policy/";
+
 std::optional<std::int64_t> parse_i64(std::string_view text) {
   // The kernel accepts surrounding whitespace on knob writes (`echo " 4" >
   // cpu.shares` works), so trim both ends, not just trailing newlines.
@@ -36,6 +41,20 @@ std::optional<std::int64_t> parse_i64(std::string_view text) {
   std::int64_t value = 0;
   const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> parse_f64(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  const std::string owned(text);  // strtod needs a terminator
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) {
     return std::nullopt;
   }
   return value;
@@ -62,6 +81,7 @@ VirtualSysfs::VirtualSysfs(proc::ProcessTable& processes, cgroup::Tree& tree,
       fs_.remove_subtree("/sys/fs/cgroup/cpuset/" + event.name + "/");
       fs_.remove_subtree("/sys/fs/cgroup/memory/" + event.name + "/");
       fs_.remove_subtree("/sys/fs/cgroup/unified/" + event.name + "/");
+      fs_.remove_subtree(std::string(kPolicyPrefix) + event.name + "/");
     }
   });
 }
@@ -104,6 +124,140 @@ void VirtualSysfs::build_host_files() {
   });
   fs_.register_file(
       kCpuinfoPath, [this] { return cpuinfo_cached(scheduler_.online_cpus()); },
+      &config_gen_);
+  // Host-wide list of registered adaptation policies (registry keys, one per
+  // line) — what the per-container policy selector files will accept.
+  fs_.register_file(std::string(kPolicyPrefix) + "available", [] {
+    std::string out;
+    for (const std::string& name :
+         core::PolicyRegistry::instance().cpu_names()) {
+      out += name;
+      out += '\n';
+    }
+    return out;
+  });
+}
+
+void VirtualSysfs::register_policy_files(cgroup::CgroupId id,
+                                         const std::string& name) {
+  const std::string dir = std::string(kPolicyPrefix) + name + "/";
+
+  // The two policy selectors. Reads report the live policy ("none" for a
+  // container without a resource view); writes swap the policy in place and
+  // re-derive the effective value immediately. A write of an unregistered
+  // name is a write error, mirroring `echo bogus > .../scaling_governor`.
+  fs_.register_writable(
+      dir + "cpu",
+      [this, id]() -> std::string {
+        const auto ns = monitor_.lookup(id);
+        return ns ? ns->cpu_policy_name() + "\n" : "none\n";
+      },
+      [this, id](std::string_view v) {
+        const auto ns = monitor_.lookup(id);
+        if (ns == nullptr || !ns->set_cpu_policy(std::string(trim(v)))) {
+          return false;
+        }
+        ++config_gen_;  // no cgroup event fires for policy writes
+        return true;
+      },
+      &config_gen_);
+  fs_.register_writable(
+      dir + "mem",
+      [this, id]() -> std::string {
+        const auto ns = monitor_.lookup(id);
+        return ns ? ns->mem_policy_name() + "\n" : "none\n";
+      },
+      [this, id](std::string_view v) {
+        const auto ns = monitor_.lookup(id);
+        if (ns == nullptr || !ns->set_mem_policy(std::string(trim(v)))) {
+          return false;
+        }
+        ++config_gen_;
+        return true;
+      },
+      &config_gen_);
+
+  // One validated knob file per Params field. All writes funnel through
+  // SysNamespace::set_params, so a value that fails Params::valid() (e.g.
+  // cpu_step 0, a threshold of 1.5) is rejected with a write error and the
+  // previous configuration stays live.
+  const auto apply = [](const std::shared_ptr<core::SysNamespace>& ns,
+                        core::Params params) {
+    return ns != nullptr && ns->set_params(params);
+  };
+  auto double_knob = [&](const char* file, double core::Params::* field) {
+    fs_.register_writable(
+        dir + file,
+        [this, id, field]() -> std::string {
+          const auto ns = monitor_.lookup(id);
+          return ns ? strf("%g\n", ns->params().*field) : "none\n";
+        },
+        [this, id, field, apply](std::string_view v) {
+          const auto ns = monitor_.lookup(id);
+          const auto value = parse_f64(v);
+          if (ns == nullptr || !value) {
+            return false;
+          }
+          core::Params params = ns->params();
+          params.*field = *value;
+          if (!apply(ns, params)) {
+            return false;
+          }
+          ++config_gen_;
+          return true;
+        },
+        &config_gen_);
+  };
+  double_knob("cpu_util_threshold", &core::Params::cpu_util_threshold);
+  double_knob("mem_use_threshold", &core::Params::mem_use_threshold);
+  double_knob("mem_growth_frac", &core::Params::mem_growth_frac);
+  double_knob("ewma_alpha", &core::Params::ewma_alpha);
+  double_knob("cpu_down_threshold", &core::Params::cpu_down_threshold);
+  double_knob("mem_down_threshold", &core::Params::mem_down_threshold);
+  double_knob("prop_gain", &core::Params::prop_gain);
+
+  fs_.register_writable(
+      dir + "cpu_step",
+      [this, id]() -> std::string {
+        const auto ns = monitor_.lookup(id);
+        return ns ? strf("%d\n", ns->params().cpu_step) : "none\n";
+      },
+      [this, id, apply](std::string_view v) {
+        const auto ns = monitor_.lookup(id);
+        const auto value = parse_i64(v);
+        if (ns == nullptr || !value) {
+          return false;
+        }
+        core::Params params = ns->params();
+        params.cpu_step = static_cast<int>(*value);
+        if (!apply(ns, params)) {
+          return false;
+        }
+        ++config_gen_;
+        return true;
+      },
+      &config_gen_);
+  fs_.register_writable(
+      dir + "mem_prediction_gate",
+      [this, id]() -> std::string {
+        const auto ns = monitor_.lookup(id);
+        return ns ? strf("%d\n", ns->params().mem_prediction_gate ? 1 : 0)
+                  : "none\n";
+      },
+      [this, id, apply](std::string_view v) {
+        const auto ns = monitor_.lookup(id);
+        const auto value = parse_i64(v);
+        if (ns == nullptr || !value || (*value != 0 && *value != 1)) {
+          return false;
+        }
+        core::Params params = ns->params();
+        params.mem_prediction_gate = *value == 1;
+        if (!apply(ns, params)) {
+          return false;
+        }
+        ++config_gen_;
+        return true;
+      },
       &config_gen_);
 }
 
@@ -294,6 +448,8 @@ void VirtualSysfs::export_cgroup_files(cgroup::CgroupId id) {
                 static_cast<long long>(stats.total_usage),
                 static_cast<long long>(stats.throttled_time));
   });
+
+  register_policy_files(id, name);
 }
 
 std::shared_ptr<core::SysNamespace> VirtualSysfs::sys_ns_of(proc::Pid pid) const {
@@ -362,6 +518,34 @@ std::optional<std::int64_t> VirtualSysfs::trace_counter_for(
   }
   if (counter == "cpu_usage") {
     return scheduler_.total_usage(ns.cgroup());
+  }
+  // Decision-reason tallies: why the policy moved (or held) the effective
+  // values, e.g. /sys/arv/trace/cpu_grew.
+  const auto decisions = [&](const core::DecisionCounters& c,
+                             std::string_view reason)
+      -> std::optional<std::int64_t> {
+    if (reason == "grew") {
+      return static_cast<std::int64_t>(c.grew);
+    }
+    if (reason == "shrank") {
+      return static_cast<std::int64_t>(c.shrank);
+    }
+    if (reason == "clamped") {
+      return static_cast<std::int64_t>(c.clamped);
+    }
+    if (reason == "reset") {
+      return static_cast<std::int64_t>(c.reset);
+    }
+    if (reason == "held") {
+      return static_cast<std::int64_t>(c.held);
+    }
+    return std::nullopt;
+  };
+  if (counter.rfind("cpu_", 0) == 0) {
+    return decisions(ns.cpu_decisions(), std::string_view(counter).substr(4));
+  }
+  if (counter.rfind("mem_", 0) == 0) {
+    return decisions(ns.mem_decisions(), std::string_view(counter).substr(4));
   }
   return std::nullopt;
 }

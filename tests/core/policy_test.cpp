@@ -1,0 +1,345 @@
+// Unit tests for the pluggable adaptation-policy layer: the registry, the
+// decision-reason bookkeeping, and the behavioural contracts of the four
+// built-in policies as seen through SysNamespace.
+#include "src/core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/sys_namespace.h"
+
+namespace arv::core {
+namespace {
+
+using namespace arv::units;
+
+constexpr SimDuration kWindow = 24 * msec;
+
+CpuObservation cpu_obs(double utilization, int e_cpu, bool slack) {
+  CpuObservation obs;
+  obs.window = kWindow;
+  obs.usage = static_cast<CpuTime>(utilization * static_cast<double>(e_cpu) *
+                                   static_cast<double>(kWindow));
+  obs.host_has_slack = slack;
+  return obs;
+}
+
+MemObservation calm_mem(Bytes free, Bytes usage) {
+  MemObservation obs;
+  obs.free = free;
+  obs.usage = usage;
+  obs.kswapd_active = false;
+  obs.low_mark = 1 * GiB;
+  obs.high_mark = 2 * GiB;
+  return obs;
+}
+
+MemObservation pressured_mem() {
+  MemObservation obs;
+  obs.free = 512 * MiB;
+  obs.usage = 4 * GiB;
+  obs.kswapd_active = true;
+  obs.low_mark = 1 * GiB;
+  obs.high_mark = 2 * GiB;
+  return obs;
+}
+
+struct Fixture {
+  explicit Fixture(int cpus = 20) : tree(cpus) {}
+
+  std::shared_ptr<SysNamespace> make(cgroup::CgroupId id, Params params = {}) {
+    auto ns = std::make_shared<SysNamespace>(id, params);
+    ns->refresh_cpu_bounds(tree);
+    return ns;
+  }
+
+  cgroup::Tree tree;
+};
+
+// --- the registry -----------------------------------------------------------
+
+TEST(PolicyRegistry, BuiltinsAreRegistered) {
+  auto& registry = PolicyRegistry::instance();
+  for (const char* name : {"paper", "static", "ewma", "proportional"}) {
+    EXPECT_TRUE(registry.has_cpu(name)) << name;
+    EXPECT_TRUE(registry.has_mem(name)) << name;
+  }
+  EXPECT_GE(registry.cpu_names().size(), 4u);
+  EXPECT_EQ(registry.cpu_names().size(), registry.mem_names().size());
+}
+
+TEST(PolicyRegistry, UnknownNamesMakeNullptr) {
+  auto& registry = PolicyRegistry::instance();
+  EXPECT_FALSE(registry.has_cpu("bogus"));
+  EXPECT_EQ(registry.make_cpu("bogus", Params{}), nullptr);
+  EXPECT_EQ(registry.make_mem("bogus", Params{}), nullptr);
+}
+
+TEST(PolicyRegistry, InstancesReportTheirName) {
+  auto& registry = PolicyRegistry::instance();
+  for (const auto& name : registry.cpu_names()) {
+    EXPECT_EQ(registry.make_cpu(name, Params{})->name(), name);
+    EXPECT_EQ(registry.make_mem(name, Params{})->name(), name);
+  }
+}
+
+TEST(PolicyRegistry, OnlyStaticIsNonAdaptive) {
+  auto& registry = PolicyRegistry::instance();
+  EXPECT_FALSE(registry.make_cpu("static", Params{})->adaptive());
+  EXPECT_FALSE(registry.make_mem("static", Params{})->adaptive());
+  EXPECT_TRUE(registry.make_cpu("paper", Params{})->adaptive());
+  EXPECT_TRUE(registry.make_mem("paper", Params{})->adaptive());
+}
+
+// --- decision bookkeeping ---------------------------------------------------
+
+TEST(Decisions, NamesAreStable) {
+  EXPECT_STREQ(decision_name(Decision::kHeld), "held");
+  EXPECT_STREQ(decision_name(Decision::kGrew), "grew");
+  EXPECT_STREQ(decision_name(Decision::kShrank), "shrank");
+  EXPECT_STREQ(decision_name(Decision::kClamped), "clamped");
+  EXPECT_STREQ(decision_name(Decision::kReset), "reset");
+}
+
+TEST(Decisions, CountersTallyPerReason) {
+  DecisionCounters counters;
+  counters.count(Decision::kGrew);
+  counters.count(Decision::kGrew);
+  counters.count(Decision::kReset);
+  EXPECT_EQ(counters.grew, 2u);
+  EXPECT_EQ(counters.reset, 1u);
+  EXPECT_EQ(counters.total(), 3u);
+}
+
+TEST(Decisions, EveryUpdateRoundIsCounted) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  f.tree.create("b");  // lower 10, upper 20
+  const auto ns = f.make(a);
+  for (int i = 0; i < 7; ++i) {
+    ns->update_cpu(cpu_obs(0.99, ns->effective_cpus(), true));
+  }
+  EXPECT_EQ(ns->cpu_decisions().total(), ns->cpu_updates());
+  EXPECT_EQ(ns->cpu_decisions().grew, 7u);  // 10 -> 17, all real growth
+}
+
+TEST(Decisions, GrowthAgainstTheUpperBoundCountsAsClamped) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  const auto ns = f.make(a);  // single container: lower = upper = 20
+  ASSERT_EQ(ns->effective_cpus(), 20);
+  ns->update_cpu(cpu_obs(0.99, 20, true));  // wants 21, bounds say 20
+  EXPECT_EQ(ns->effective_cpus(), 20);
+  EXPECT_EQ(ns->cpu_decisions().clamped, 1u);
+  EXPECT_EQ(ns->cpu_decisions().grew, 0u);
+}
+
+TEST(Decisions, KswapdResetIsCounted) {
+  Fixture f;
+  const auto cg = f.tree.create("a");
+  f.tree.set_mem_limit(cg, 4 * GiB);
+  f.tree.set_mem_soft_limit(cg, 1 * GiB);
+  const auto ns = f.make(cg);
+  ns->refresh_mem_limits(f.tree, 128 * GiB);
+  ns->update_mem(pressured_mem());
+  EXPECT_EQ(ns->effective_memory(), static_cast<Bytes>(1) * GiB);
+  EXPECT_EQ(ns->mem_decisions().reset, 1u);
+}
+
+// --- runtime policy switching ----------------------------------------------
+
+TEST(PolicySwitch, SwitchToStaticRepinsImmediately) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  f.tree.create("b");  // lower 10, upper 20
+  const auto ns = f.make(a);
+  ASSERT_EQ(ns->effective_cpus(), 10);  // paper: starts at LOWER
+  ASSERT_TRUE(ns->set_cpu_policy("static"));
+  EXPECT_EQ(ns->cpu_policy_name(), "static");
+  // Not lazily at the next cgroup event — right now.
+  EXPECT_EQ(ns->effective_cpus(), 20);
+}
+
+TEST(PolicySwitch, SwitchBackToPaperKeepsValueAndAdapts) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  f.tree.create("b");
+  const auto ns = f.make(a);
+  ASSERT_TRUE(ns->set_cpu_policy("static"));
+  ASSERT_EQ(ns->effective_cpus(), 20);
+  ASSERT_TRUE(ns->set_cpu_policy("paper"));
+  // The adaptive state resumes from the current value, inside bounds...
+  EXPECT_EQ(ns->effective_cpus(), 20);
+  // ...and reacts to contention again.
+  ns->update_cpu(cpu_obs(0.99, 20, false));
+  EXPECT_EQ(ns->effective_cpus(), 19);
+}
+
+TEST(PolicySwitch, UnknownPolicyIsRejectedWithoutSideEffects) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  const auto ns = f.make(a);
+  EXPECT_FALSE(ns->set_cpu_policy("bogus"));
+  EXPECT_FALSE(ns->set_mem_policy(""));
+  EXPECT_EQ(ns->cpu_policy_name(), "paper");
+  EXPECT_EQ(ns->mem_policy_name(), "paper");
+}
+
+TEST(PolicySwitch, SetParamsRejectsInvalidKnobs) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  const auto ns = f.make(a);
+  Params bad;
+  bad.cpu_step = 0;
+  EXPECT_FALSE(ns->set_params(bad));
+  bad = Params{};
+  bad.cpu_util_threshold = 1.5;
+  EXPECT_FALSE(ns->set_params(bad));
+  bad = Params{};
+  bad.mem_growth_frac = 0.0;
+  EXPECT_FALSE(ns->set_params(bad));
+  bad = Params{};
+  bad.cpu_policy = "bogus";
+  EXPECT_FALSE(ns->set_params(bad));
+  EXPECT_EQ(ns->params().cpu_step, 1);  // unchanged throughout
+
+  Params good;
+  good.cpu_step = 3;
+  EXPECT_TRUE(ns->set_params(good));
+  EXPECT_EQ(ns->params().cpu_step, 3);
+}
+
+// --- the "static" comparator ------------------------------------------------
+
+TEST(StaticPolicy, PinsMemoryToHardLimitAfterRuntimeLimitUpdate) {
+  // The satellite regression: LXCFS follows `docker update`, so a runtime
+  // memory.limit_in_bytes change must re-pin e_mem to the *new* hard limit,
+  // not leave the value from construction.
+  Fixture f;
+  const auto cg = f.tree.create("a");
+  f.tree.set_mem_limit(cg, 4 * GiB);
+  f.tree.set_mem_soft_limit(cg, 1 * GiB);
+  Params params;
+  params.cpu_policy = "static";
+  params.mem_policy = "static";
+  const auto ns = f.make(cg, params);
+  ns->refresh_mem_limits(f.tree, 128 * GiB);
+  ASSERT_EQ(ns->effective_memory(), static_cast<Bytes>(4) * GiB);
+  // Mid-run administrator change, both directions.
+  f.tree.set_mem_limit(cg, 8 * GiB);
+  ns->refresh_mem_limits(f.tree, 128 * GiB);
+  EXPECT_EQ(ns->effective_memory(), static_cast<Bytes>(8) * GiB);
+  f.tree.set_mem_limit(cg, 2 * GiB);
+  ns->refresh_mem_limits(f.tree, 128 * GiB);
+  EXPECT_EQ(ns->effective_memory(), static_cast<Bytes>(2) * GiB);
+}
+
+TEST(StaticPolicy, UpdatesNeverMoveTheView) {
+  Fixture f;
+  const auto cg = f.tree.create("a");
+  f.tree.set_mem_limit(cg, 4 * GiB);
+  f.tree.set_mem_soft_limit(cg, 1 * GiB);
+  Params params;
+  params.cpu_policy = "static";
+  params.mem_policy = "static";
+  const auto ns = f.make(cg, params);
+  ns->refresh_mem_limits(f.tree, 128 * GiB);
+  for (int i = 0; i < 20; ++i) {
+    ns->update_cpu(cpu_obs(0.99, ns->effective_cpus(), i % 2 == 0));
+    ns->update_mem(i % 2 == 0 ? pressured_mem()
+                              : calm_mem(60 * GiB, 4 * GiB));
+  }
+  EXPECT_EQ(ns->effective_cpus(), 20);
+  EXPECT_EQ(ns->effective_memory(), static_cast<Bytes>(4) * GiB);
+  EXPECT_EQ(ns->cpu_decisions().held, 20u);
+  EXPECT_EQ(ns->mem_decisions().held, 20u);
+}
+
+// --- the "ewma" policy ------------------------------------------------------
+
+TEST(EwmaPolicy, OneBusyWindowDoesNotGrowASmoothedIdleView) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  f.tree.create("b");  // lower 10, upper 20
+  Params params;
+  params.cpu_policy = "ewma";
+  const auto ns = f.make(a, params);
+  // Long idle: the EWMA settles near zero (and e_cpu rests at lower).
+  for (int i = 0; i < 20; ++i) {
+    ns->update_cpu(cpu_obs(0.0, ns->effective_cpus(), true));
+  }
+  ASSERT_EQ(ns->effective_cpus(), 10);
+  // The paper policy would grow on this single 99% burst; the smoothed view
+  // (0.3 * 0.99 ~= 0.30 < 0.95) holds through it.
+  ns->update_cpu(cpu_obs(0.99, 10, true));
+  EXPECT_EQ(ns->effective_cpus(), 10);
+  // Sustained saturation does pull the EWMA over the threshold eventually.
+  for (int i = 0; i < 20; ++i) {
+    ns->update_cpu(cpu_obs(0.99, ns->effective_cpus(), true));
+  }
+  EXPECT_GT(ns->effective_cpus(), 10);
+}
+
+TEST(EwmaPolicy, ReleasesCpusOnSustainedIdleEvenWithSlack) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  f.tree.create("b");
+  Params params;
+  params.cpu_policy = "ewma";
+  const auto ns = f.make(a, params);
+  // Grow to the top first.
+  for (int i = 0; i < 40; ++i) {
+    ns->update_cpu(cpu_obs(0.99, ns->effective_cpus(), true));
+  }
+  ASSERT_EQ(ns->effective_cpus(), 20);
+  // The paper policy never shrinks while the host has slack; the hysteresis
+  // policy hands unused CPUs back once smoothed utilization sinks below the
+  // down threshold.
+  for (int i = 0; i < 40; ++i) {
+    ns->update_cpu(cpu_obs(0.0, ns->effective_cpus(), true));
+  }
+  EXPECT_EQ(ns->effective_cpus(), 10);
+}
+
+// --- the "proportional" policy ----------------------------------------------
+
+TEST(ProportionalPolicy, StepsScaleWithUtilizationError) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  f.tree.create("b");  // lower 10, upper 20
+  Params params;
+  params.cpu_policy = "proportional";
+  const auto ns = f.make(a, params);
+  ASSERT_EQ(ns->effective_cpus(), 10);
+  // Pegged at 100%: error = (1.0 - 0.95)/0.05 = 1.0, step = prop_gain = 4.
+  ns->update_cpu(cpu_obs(1.0, 10, true));
+  EXPECT_EQ(ns->effective_cpus(), 14);
+  // Barely over threshold: error ~ 0.2, step rounds to 1.
+  ns->update_cpu(cpu_obs(0.96, 14, true));
+  EXPECT_EQ(ns->effective_cpus(), 15);
+}
+
+TEST(ProportionalPolicy, BacksOffGeometricallyUnderSaturation) {
+  Fixture f;
+  const auto a = f.tree.create("a");
+  f.tree.create("b");  // lower 10, upper 20
+  Params params;
+  params.cpu_policy = "proportional";
+  const auto ns = f.make(a, params);
+  for (int i = 0; i < 10; ++i) {
+    ns->update_cpu(cpu_obs(1.0, ns->effective_cpus(), true));
+  }
+  ASSERT_EQ(ns->effective_cpus(), 20);
+  ns->update_cpu(cpu_obs(1.0, 20, false));
+  EXPECT_EQ(ns->effective_cpus(), 15);  // halves the overshoot above lower
+  ns->update_cpu(cpu_obs(1.0, 15, false));
+  EXPECT_EQ(ns->effective_cpus(), 12);
+  while (ns->effective_cpus() > 10) {
+    const int before = ns->effective_cpus();
+    ns->update_cpu(cpu_obs(1.0, before, false));
+    ASSERT_LT(ns->effective_cpus(), before);  // monotone convergence to lower
+  }
+  EXPECT_EQ(ns->effective_cpus(), 10);
+}
+
+}  // namespace
+}  // namespace arv::core

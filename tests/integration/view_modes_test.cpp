@@ -10,14 +10,15 @@ namespace {
 
 using namespace arv::units;
 
-double run_view_mode(const jvm::JavaWorkload& w, bool view, core::ViewMode mode) {
+double run_view_mode(const jvm::JavaWorkload& w, bool view,
+                     const std::string& policy) {
   harness::JvmScenario scenario;
   for (int i = 0; i < 5; ++i) {
     harness::JvmInstanceConfig config;
     config.container.name = "c" + std::to_string(i);
     config.container.cfs_quota_us = 1000000;  // 10-core limit, 4 effective
     config.container.enable_resource_view = view;
-    config.container.view_params.mode = mode;
+    config.use_policy(policy);
     config.flags.kind = jvm::JvmKind::kAdaptive;
     config.flags.dynamic_gc_threads = false;
     config.flags.xmx = 3 * jvm::min_heap_of(w);
@@ -39,9 +40,9 @@ TEST(ViewModes, AdaptiveBeatsStaticBeatsNone) {
     workload.total_work = 3 * sec;
     return workload;
   }();
-  const double none = run_view_mode(w, false, core::ViewMode::kAdaptive);
-  const double lxcfs = run_view_mode(w, true, core::ViewMode::kStaticLimits);
-  const double adaptive = run_view_mode(w, true, core::ViewMode::kAdaptive);
+  const double none = run_view_mode(w, false, "paper");
+  const double lxcfs = run_view_mode(w, true, "static");
+  const double adaptive = run_view_mode(w, true, "paper");
   // Static limits already help (10 < 20 GC threads), the effective view
   // helps more (4 effective CPUs).
   EXPECT_LT(lxcfs, none);
@@ -56,7 +57,8 @@ TEST(ViewModes, StaticViewThroughSysconf) {
   config.cfs_quota_us = 600000;
   config.mem_limit = 3 * GiB;
   config.mem_soft_limit = 1 * GiB;
-  config.view_params.mode = core::ViewMode::kStaticLimits;
+  config.view_params.cpu_policy = "static";
+  config.view_params.mem_policy = "static";
   auto& c = runtime.run(config);
   // LXCFS semantics: the *limits*, not effective values — memory reads the
   // hard limit even though the adaptive view would start at the soft limit.

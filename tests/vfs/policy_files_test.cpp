@@ -1,0 +1,196 @@
+// The /sys/arv/policy/<container>/ control plane: runtime policy switching,
+// validated knob writes, and cleanup on container destruction.
+#include <gtest/gtest.h>
+
+#include "src/container/container.h"
+#include "src/core/policy.h"
+#include "src/workloads/hogs.h"
+
+namespace arv::vfs {
+namespace {
+
+using namespace arv::units;
+
+struct Fixture {
+  Fixture() : runtime(host) {}
+
+  container::Container& run(container::ContainerConfig config) {
+    return runtime.run(config);
+  }
+
+  std::optional<std::string> read(const std::string& path) {
+    return host.sysfs().read(proc::kHostInit, path);
+  }
+
+  bool write(const std::string& path, std::string_view value) {
+    return host.sysfs().write(path, value);
+  }
+
+  container::Host host;  // default: 20 CPUs, 128 GiB
+  container::ContainerRuntime runtime;
+};
+
+TEST(PolicyFiles, AvailableListsTheRegistry) {
+  Fixture f;
+  const auto available = f.read("/sys/arv/policy/available");
+  ASSERT_TRUE(available.has_value());
+  for (const auto& name : core::PolicyRegistry::instance().cpu_names()) {
+    EXPECT_NE(available->find(name + "\n"), std::string::npos) << name;
+  }
+}
+
+TEST(PolicyFiles, SelectorsReportThePerContainerPolicy) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.name = "a";
+  config.view_params.mem_policy = "ewma";
+  f.run(config);
+  EXPECT_EQ(f.read("/sys/arv/policy/a/cpu"), "paper\n");
+  EXPECT_EQ(f.read("/sys/arv/policy/a/mem"), "ewma\n");
+}
+
+TEST(PolicyFiles, WriteSwitchesTheLivePolicy) {
+  Fixture f;
+  f.run({.name = "b"});  // pre-existing peer: a registers with lower 10
+  auto& a = f.run({.name = "a"});
+  const auto view = a.resource_view();
+  ASSERT_EQ(view->effective_cpus(), 10);  // paper starts at LOWER
+  ASSERT_TRUE(f.write("/sys/arv/policy/a/cpu", "static\n"));
+  EXPECT_EQ(view->cpu_policy_name(), "static");
+  EXPECT_EQ(view->effective_cpus(), 20);  // re-pinned immediately
+  EXPECT_EQ(f.read("/sys/arv/policy/a/cpu"), "static\n");
+  // The acceptance check: keep running after the switch — the live value
+  // stays inside the static bounds.
+  f.host.run_for(500 * msec);
+  EXPECT_GE(view->effective_cpus(), view->cpu_bounds().lower);
+  EXPECT_LE(view->effective_cpus(), view->cpu_bounds().upper);
+}
+
+TEST(PolicyFiles, UnknownPolicyWriteFails) {
+  Fixture f;
+  f.run({.name = "a"});
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/cpu", "bogus"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/mem", ""));
+  EXPECT_EQ(f.read("/sys/arv/policy/a/cpu"), "paper\n");
+}
+
+TEST(PolicyFiles, ContainerWithoutViewRejectsWrites) {
+  Fixture f;
+  container::ContainerConfig config;
+  config.name = "stock";
+  config.enable_resource_view = false;
+  f.run(config);
+  EXPECT_EQ(f.read("/sys/arv/policy/stock/cpu"), "none\n");
+  EXPECT_FALSE(f.write("/sys/arv/policy/stock/cpu", "paper"));
+}
+
+TEST(PolicyFiles, KnobWritesApplyAfterValidation) {
+  Fixture f;
+  auto& a = f.run({.name = "a"});
+  ASSERT_TRUE(f.write("/sys/arv/policy/a/cpu_step", " 4\n"));
+  EXPECT_EQ(a.resource_view()->params().cpu_step, 4);
+  EXPECT_EQ(f.read("/sys/arv/policy/a/cpu_step"), "4\n");
+  ASSERT_TRUE(f.write("/sys/arv/policy/a/cpu_util_threshold", "0.8"));
+  EXPECT_DOUBLE_EQ(a.resource_view()->params().cpu_util_threshold, 0.8);
+  ASSERT_TRUE(f.write("/sys/arv/policy/a/mem_prediction_gate", "0"));
+  EXPECT_FALSE(a.resource_view()->params().mem_prediction_gate);
+}
+
+TEST(PolicyFiles, InvalidKnobWritesAreWriteErrors) {
+  // The satellite regression: garbage must come back as a write error with
+  // the previous configuration still live, never be silently accepted.
+  Fixture f;
+  auto& a = f.run({.name = "a"});
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/cpu_step", "0"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/cpu_step", "-3"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/cpu_step", "two"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/cpu_util_threshold", "1.5"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/cpu_util_threshold", "0"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/cpu_util_threshold", "-0.5"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/mem_growth_frac", "nan"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/mem_growth_frac", "1.01"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/ewma_alpha", "2"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/mem_prediction_gate", "2"));
+  // cpu_down_threshold above cpu_util_threshold breaks the hysteresis band.
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/cpu_down_threshold", "0.99"));
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/prop_gain", "0"));
+  const auto& params = a.resource_view()->params();
+  EXPECT_EQ(params.cpu_step, 1);
+  EXPECT_DOUBLE_EQ(params.cpu_util_threshold, 0.95);
+  EXPECT_DOUBLE_EQ(params.mem_growth_frac, 0.10);
+  EXPECT_TRUE(params.mem_prediction_gate);
+}
+
+TEST(PolicyFiles, StaticMemPolicyTracksRuntimeLimitWrites) {
+  // Satellite: under the "static" comparator a runtime
+  // memory.limit_in_bytes update must re-pin e_mem to the new hard limit,
+  // end to end through the cgroup knob file and the kMemChanged event.
+  Fixture f;
+  container::ContainerConfig config;
+  config.name = "lxcfs";
+  config.mem_limit = 4 * GiB;
+  config.mem_soft_limit = 1 * GiB;
+  config.view_params.cpu_policy = "static";
+  config.view_params.mem_policy = "static";
+  auto& c = f.run(config);
+  ASSERT_EQ(c.resource_view()->effective_memory(), static_cast<Bytes>(4) * GiB);
+  ASSERT_TRUE(f.write("/sys/fs/cgroup/memory/lxcfs/memory.limit_in_bytes",
+                      std::to_string(8LL * GiB)));
+  EXPECT_EQ(c.resource_view()->effective_memory(), static_cast<Bytes>(8) * GiB);
+  // And the container's own meminfo view agrees.
+  const auto meminfo = f.host.sysfs().read(c.init_pid(), "/proc/meminfo");
+  ASSERT_TRUE(meminfo.has_value());
+  EXPECT_NE(meminfo->find("MemTotal:       8388608 kB"), std::string::npos);
+}
+
+TEST(PolicyFiles, KnobWriteInvalidatesCachedRenders) {
+  // The knob files reuse the generation cache: a successful write must bump
+  // the generation so the next read re-renders instead of serving the old
+  // cached text.
+  Fixture f;
+  f.run({.name = "a"});
+  ASSERT_EQ(f.read("/sys/arv/policy/a/cpu_step"), "1\n");
+  ASSERT_EQ(f.read("/sys/arv/policy/a/cpu_step"), "1\n");  // cached render
+  ASSERT_TRUE(f.write("/sys/arv/policy/a/cpu_step", "2"));
+  EXPECT_EQ(f.read("/sys/arv/policy/a/cpu_step"), "2\n");
+  // A *failed* write leaves the cache (and the value) alone.
+  ASSERT_FALSE(f.write("/sys/arv/policy/a/cpu_step", "0"));
+  EXPECT_EQ(f.read("/sys/arv/policy/a/cpu_step"), "2\n");
+}
+
+TEST(PolicyFiles, DecisionCountersReadableFromInsideTheContainer) {
+  Fixture f;
+  f.run({.name = "b"});  // pre-existing peer: a registers with lower 10
+  auto& a = f.run({.name = "a"});
+  // 12 busy threads saturate a's 10-CPU view while 8 host CPUs idle, so
+  // Algorithm 1 sees both >95% utilization and host slack: growth decisions.
+  workloads::CpuHog hog(f.host, a, 12, 3600 * sec);
+  f.host.run_for(1 * sec);
+  const auto grew = f.host.sysfs().read(a.init_pid(), "/sys/arv/trace/cpu_grew");
+  ASSERT_TRUE(grew.has_value());
+  EXPECT_GT(std::stoll(*grew), 0);
+  const auto held = f.host.sysfs().read(a.init_pid(), "/sys/arv/trace/mem_held");
+  ASSERT_TRUE(held.has_value());
+  // Every round is accounted to exactly one reason.
+  std::int64_t total = 0;
+  for (const char* reason : {"grew", "shrank", "clamped", "reset", "held"}) {
+    const auto value = f.host.sysfs().read(
+        a.init_pid(), std::string("/sys/arv/trace/cpu_") + reason);
+    ASSERT_TRUE(value.has_value()) << reason;
+    total += std::stoll(*value);
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(a.resource_view()->cpu_updates()));
+}
+
+TEST(PolicyFiles, DestroyedContainerLosesItsPolicyDirectory) {
+  Fixture f;
+  auto& a = f.run({.name = "a"});
+  ASSERT_TRUE(f.read("/sys/arv/policy/a/cpu").has_value());
+  a.stop();
+  EXPECT_FALSE(f.read("/sys/arv/policy/a/cpu").has_value());
+  EXPECT_FALSE(f.read("/sys/arv/policy/a/cpu_step").has_value());
+  EXPECT_FALSE(f.write("/sys/arv/policy/a/cpu", "static"));
+}
+
+}  // namespace
+}  // namespace arv::vfs
