@@ -1,0 +1,80 @@
+// A multi-host fleet: placement, routing, and corrective rebalancing.
+//
+// Four simulated hosts on one deterministic clock. Twelve single-threaded
+// web replicas — each *requesting* two CPUs it will never burn — are placed
+// twice: once with the kube-style "requests" strategy (which believes the
+// declared numbers and runs out of room), once with "effective" (which
+// scores hosts by observed slack and free memory, and places everything).
+// A RequestRouter spreads an open-loop stream over whichever replicas got
+// scheduled; the fleet-level throughput and tail latency show the cost of
+// trusting requests.
+//
+//   build/examples/cluster_fleet
+#include <cstdio>
+#include <string>
+
+#include "src/cluster/pod_workloads.h"
+#include "src/harness/scenario.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+
+using namespace arv;
+using namespace arv::units;
+
+namespace {
+
+struct FleetNumbers {
+  int placed = 0;
+  double throughput = 0;
+  double p95_ms = 0;
+};
+
+FleetNumbers run_fleet(const std::string& strategy) {
+  harness::FleetScenario fleet;
+  for (int i = 0; i < 4; ++i) {
+    container::HostConfig host;
+    host.cpus = 4;
+    host.ram = 16 * GiB;
+    fleet.add_host(host);
+  }
+  fleet.enable_router(2400);  // fleet-wide requests/sec
+  fleet.enable_rebalancer();
+
+  container::K8sResources spec;
+  spec.request_millicpu = container::parse_cpu_quantity("2");  // overstated
+  spec.request_memory = container::parse_memory_quantity("1Gi");
+  server::WebConfig web;
+  web.sizing = server::Sizing::kFixed;
+  web.fixed_workers = 1;  // the replica's *actual* capacity: one CPU
+  web.service_cpu = 4 * msec;
+
+  FleetNumbers numbers;
+  for (int i = 0; i < 12; ++i) {
+    if (fleet.place_web_pod(strategy, spec, web) >= 0) {
+      ++numbers.placed;
+    }
+  }
+  fleet.run(30 * sec);
+  const server::RequestStats stats = fleet.router()->aggregate();
+  numbers.throughput = stats.throughput_per_sec(30 * sec);
+  numbers.p95_ms = stats.p95_ms();
+  return numbers;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Placing 12 replicas (2-CPU requests, 1-CPU reality) on 4x4 CPUs...\n");
+  Table table({"strategy", "placed", "throughput/s", "p95(ms)"});
+  for (const std::string strategy : {"requests", "effective"}) {
+    const FleetNumbers n = run_fleet(strategy);
+    table.add_row({strategy, std::to_string(n.placed),
+                   strf("%.0f", n.throughput), strf("%.1f", n.p95_ms)});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nThe \"requests\" scheduler refuses a third of the fleet on paper\n"
+      "capacity that was never really used; \"effective\" places it all.\n");
+  return 0;
+}

@@ -1,0 +1,261 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+#include "src/util/log.h"
+
+namespace arv::cluster {
+
+Cluster::Cluster(ClusterConfig config) : config_(config), rng_(config.seed) {
+  ARV_ASSERT(config_.tick > 0);
+  ARV_ASSERT(config_.observe_window >= config_.tick);
+  ARV_ASSERT(config_.migration_bandwidth_per_sec > 0);
+  if (config_.enable_tracing) {
+    obs::TraceConfig trace_config;
+    trace_config.sample_interval = config_.trace_interval;
+    trace_ = std::make_unique<obs::TraceRecorder>(trace_config);
+    trace_->add_counter("cluster.migrations", "", [this] {
+      return static_cast<std::int64_t>(migrations_);
+    });
+    trace_->add_gauge("cluster.pods", "", [this] {
+      std::int64_t running = 0;
+      for (const Pod& pod : pods_) {
+        running += pod.running() ? 1 : 0;
+      }
+      return running;
+    });
+  }
+}
+
+int Cluster::add_host(container::HostConfig host_config) {
+  ARV_ASSERT_MSG(now_ == 0, "add hosts before advancing the cluster clock");
+  ARV_ASSERT_MSG(host_config.tick == config_.tick,
+                 "host tick must match the cluster tick");
+  HostState state;
+  state.host = std::make_unique<container::Host>(host_config);
+  state.runtime = std::make_unique<container::ContainerRuntime>(*state.host);
+  // An unobserved host counts as fully idle: placement on a fresh cluster
+  // must not read "no completed window yet" as "saturated".
+  state.window_slack =
+      static_cast<CpuTime>(host_config.cpus) * config_.observe_window;
+  hosts_.push_back(std::move(state));
+  const int index = static_cast<int>(hosts_.size()) - 1;
+  if (trace_ != nullptr) {
+    register_host_trace(index);
+  }
+  return index;
+}
+
+void Cluster::register_host_trace(int index) {
+  const std::string scope = "h" + std::to_string(index);
+  trace_->add_gauge("slack_window", scope, [this, index] {
+    return hosts_[static_cast<std::size_t>(index)].window_slack;
+  });
+  trace_->add_gauge("free_mem", scope, [this, index] {
+    return hosts_[static_cast<std::size_t>(index)].host->memory().free_memory();
+  });
+  trace_->add_gauge("pods", scope,
+                    [this, index] { return hosts_[static_cast<std::size_t>(index)].pods; });
+  trace_->add_counter("slack_total", scope, [this, index] {
+    return hosts_[static_cast<std::size_t>(index)].host->scheduler().total_slack();
+  });
+}
+
+void Cluster::add_component(sim::TickComponent* component) {
+  ARV_ASSERT(component != nullptr);
+  Dispatch dispatch;
+  dispatch.component = component;
+  dispatch.next = now_ + config_.tick;  // first dispatch on the next tick
+  dispatch.last = now_;
+  components_.push_back(dispatch);
+}
+
+void Cluster::step() {
+  ARV_ASSERT_MSG(!hosts_.empty(), "cluster has no hosts");
+  now_ += config_.tick;
+  for (HostState& state : hosts_) {
+    state.host->engine().step();
+    ARV_ASSERT(state.host->now() == now_);
+  }
+  observe_slack();
+  // Migrations land before components run, so a rebalancer/router round
+  // never observes a pod that should already have arrived.
+  settle_migrations();
+  dispatch_components();
+  if (trace_ != nullptr) {
+    trace_->tick(now_, config_.tick);
+  }
+}
+
+void Cluster::run_for(SimDuration duration) {
+  const SimTime end = now_ + duration;
+  while (now_ < end) {
+    step();
+  }
+}
+
+void Cluster::observe_slack() {
+  for (HostState& state : hosts_) {
+    const CpuTime total = state.host->scheduler().total_slack();
+    state.accum_slack += total - state.last_total_slack;
+    state.last_total_slack = total;
+  }
+  window_elapsed_ += config_.tick;
+  if (window_elapsed_ >= config_.observe_window) {
+    window_elapsed_ = 0;
+    for (HostState& state : hosts_) {
+      state.window_slack = state.accum_slack;
+      state.accum_slack = 0;
+    }
+  }
+}
+
+int Cluster::create_pod(int host_index, PodSpec spec, WorkloadFactory factory) {
+  ARV_ASSERT(host_index >= 0 && host_index < host_count());
+  if (spec.name.empty()) {
+    spec.name = "pod-" + std::to_string(pods_.size());
+  }
+  Pod pod;
+  pod.id = static_cast<int>(pods_.size());
+  pod.spec = std::move(spec);
+  pod.host = host_index;
+  pod.factory = std::move(factory);
+  HostState& state = hosts_[static_cast<std::size_t>(host_index)];
+  state.requested_millicpu += pod.spec.resources.request_millicpu;
+  state.requested_memory += pod.spec.resources.request_memory;
+  ++state.pods;
+  pods_.push_back(std::move(pod));
+  land_pod(pods_.back());
+  return pods_.back().id;
+}
+
+void Cluster::land_pod(Pod& pod) {
+  HostState& state = hosts_[static_cast<std::size_t>(pod.host)];
+  pod.container = &state.runtime->run(container::pod_container(
+      pod.spec.name, pod.spec.resources, pod.spec.enable_view));
+  if (pod.factory) {
+    pod.workload = pod.factory(*state.host, *pod.container);
+  }
+  pod.placed_at = now_;
+}
+
+void Cluster::harvest_stats(Pod& pod) {
+  if (pod.workload == nullptr) {
+    return;
+  }
+  if (server::WorkerPoolServer* sink = pod.workload->request_sink()) {
+    pod.archived.merge(sink->stats());
+  }
+}
+
+void Cluster::stop_pod(int pod_id) {
+  Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
+  ARV_ASSERT_MSG(pod.running(), "pod is not running");
+  harvest_stats(pod);
+  pod.workload.reset();  // detaches from the source scheduler
+  pod.container->stop();
+  pod.container = nullptr;
+  HostState& state = hosts_[static_cast<std::size_t>(pod.host)];
+  state.requested_millicpu -= pod.spec.resources.request_millicpu;
+  state.requested_memory -= pod.spec.resources.request_memory;
+  --state.pods;
+  pod.host = -1;
+}
+
+void Cluster::migrate_pod(int pod_id, int target_host) {
+  Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
+  ARV_ASSERT(target_host >= 0 && target_host < host_count());
+  ARV_ASSERT_MSG(pod.running(), "cannot migrate a stopped or in-flight pod");
+  ARV_ASSERT_MSG(pod.host != target_host, "pod is already on the target host");
+  HostState& source = hosts_[static_cast<std::size_t>(pod.host)];
+  // Cost model: freeze grows with the state that must move. Read before the
+  // container (and its memory charges) is torn down.
+  const Bytes state_bytes =
+      source.host->memory().committed(pod.container->cgroup());
+  const SimDuration freeze =
+      config_.migration_freeze +
+      state_bytes * units::sec / config_.migration_bandwidth_per_sec;
+
+  harvest_stats(pod);
+  pod.workload.reset();
+  pod.container->stop();
+  pod.container = nullptr;
+  source.requested_millicpu -= pod.spec.resources.request_millicpu;
+  source.requested_memory -= pod.spec.resources.request_memory;
+  --source.pods;
+
+  // Reserve the target slot for the whole flight.
+  HostState& target = hosts_[static_cast<std::size_t>(target_host)];
+  target.requested_millicpu += pod.spec.resources.request_millicpu;
+  target.requested_memory += pod.spec.resources.request_memory;
+  ++target.pods;
+  pod.host = target_host;
+  ++pod.migrations;
+  ++migrations_;
+  pending_.push_back({now_ + freeze, next_migration_seq_++, pod.id});
+  ARV_LOG(kDebug, "cluster", "migrating pod %d -> h%d (freeze %lld us)",
+          pod.id, target_host, static_cast<long long>(freeze));
+}
+
+void Cluster::settle_migrations() {
+  if (pending_.empty()) {
+    return;
+  }
+  // Due flights land in (due, seq) order; the vector stays tiny (a
+  // rebalancer issues at most a migration or two per round).
+  std::vector<PendingMigration> still_pending;
+  std::vector<PendingMigration> due;
+  for (const PendingMigration& flight : pending_) {
+    (flight.due <= now_ ? due : still_pending).push_back(flight);
+  }
+  std::sort(due.begin(), due.end(),
+            [](const PendingMigration& a, const PendingMigration& b) {
+              return a.due != b.due ? a.due < b.due : a.seq < b.seq;
+            });
+  pending_ = std::move(still_pending);
+  for (const PendingMigration& flight : due) {
+    land_pod(pods_.at(static_cast<std::size_t>(flight.pod)));
+  }
+}
+
+void Cluster::dispatch_components() {
+  for (Dispatch& dispatch : components_) {
+    if (dispatch.next > now_) {
+      continue;
+    }
+    dispatch.component->tick(now_, now_ - dispatch.last);
+    dispatch.last = now_;
+    const SimDuration period =
+        std::max(dispatch.component->tick_period(), config_.tick);
+    dispatch.next = now_ + period;
+  }
+}
+
+HostView Cluster::host_view(int index) const {
+  const HostState& state = hosts_.at(static_cast<std::size_t>(index));
+  const container::HostSnapshot snap = state.host->snapshot();
+  HostView view;
+  view.index = index;
+  view.capacity_millicpu = static_cast<std::int64_t>(snap.cpus) * 1000;
+  view.capacity_memory = snap.ram;
+  view.requested_millicpu = state.requested_millicpu;
+  view.requested_memory = state.requested_memory;
+  view.pods = state.pods;
+  // window_slack is idle CPU-time over the observation window; normalize to
+  // milli-CPUs (1000 = one core fully idle across the window).
+  view.slack_millicpu = state.window_slack * 1000 / config_.observe_window;
+  view.free_memory = snap.free_memory;
+  return view;
+}
+
+std::vector<HostView> Cluster::host_views() const {
+  std::vector<HostView> views;
+  views.reserve(hosts_.size());
+  for (int i = 0; i < host_count(); ++i) {
+    views.push_back(host_view(i));
+  }
+  return views;
+}
+
+}  // namespace arv::cluster

@@ -1,0 +1,206 @@
+// Cluster — a multi-host fleet on one deterministic clock.
+//
+// N simulated Hosts advance in lockstep: every cluster tick steps each
+// host's engine once (in host order), then settles due pod migrations, then
+// dispatches the cluster-level components (rebalancer, request router), then
+// samples the cluster trace. Every stage iterates hosts and pods in index
+// order, so the same configuration and seed produce byte-identical cluster
+// traces — the same determinism contract the single-host layer pins with
+// golden traces.
+//
+// The cluster owns the pods. A Pod couples a Kubernetes-style spec with the
+// container currently realising it and the workload object running inside;
+// migration is the Docker-era recipe (no live pre-copy): stop the container
+// on the source, pay a freeze proportional to its committed memory, recreate
+// the same cgroup configuration on the target, and re-create the workload
+// from the pod's factory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/placement.h"
+#include "src/container/container.h"
+#include "src/container/host.h"
+#include "src/obs/trace_recorder.h"
+#include "src/server/server_runtime.h"
+#include "src/sim/engine.h"
+#include "src/util/rng.h"
+
+namespace arv::server {
+class WorkerPoolServer;
+}
+
+namespace arv::cluster {
+
+/// The workload running inside a pod's container. Implementations own
+/// whatever Schedulable they attach (a server, a hog); destroying the object
+/// must detach it, because migration destroys and re-creates workloads.
+class PodWorkload {
+ public:
+  virtual ~PodWorkload() = default;
+
+  /// Non-null when the workload serves an open-loop request stream the
+  /// RequestRouter can target.
+  virtual server::WorkerPoolServer* request_sink() { return nullptr; }
+};
+
+/// Builds a pod's workload inside a freshly-created container. Called once
+/// at placement and again after every migration, so factories must be
+/// re-invocable.
+using WorkloadFactory =
+    std::function<std::unique_ptr<PodWorkload>(container::Host&,
+                                               container::Container&)>;
+
+struct ClusterConfig {
+  /// Shared tick length; every added host must be configured with the same.
+  SimDuration tick = 1 * units::msec;
+  /// Seeds the rng used for placement score tie-breaks.
+  std::uint64_t seed = 42;
+  /// Window over which per-host slack is accumulated for the "effective"
+  /// strategy and the rebalancer (the observed-idle signal).
+  SimDuration observe_window = 100 * units::msec;
+  /// Migration cost model: freeze = base + committed_bytes / bandwidth.
+  SimDuration migration_freeze = 50 * units::msec;
+  Bytes migration_bandwidth_per_sec = 256 * units::MiB;
+  /// Record the cluster-wide trace (per-host slack/free-mem/pods, migration
+  /// and routing counters). Observation-only, like host tracing.
+  bool enable_tracing = false;
+  SimDuration trace_interval = 100 * units::msec;
+};
+
+/// One scheduled pod. The container pointer is null while the pod is in
+/// flight between hosts (migration freeze) or after stop_pod.
+struct Pod {
+  int id = -1;
+  PodSpec spec;
+  int host = -1;  ///< current (or in-flight target) host; -1 once stopped
+  container::Container* container = nullptr;  ///< owned by the host's runtime
+  std::unique_ptr<PodWorkload> workload;
+  WorkloadFactory factory;
+  int migrations = 0;
+  SimTime placed_at = 0;  ///< when the pod last landed on a host
+  /// Request stats harvested from sinks that migration (or stop) destroyed,
+  /// so fleet-level throughput/latency survive replica churn.
+  server::RequestStats archived;
+
+  bool running() const { return container != nullptr; }
+  bool in_flight() const { return container == nullptr && host >= 0; }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- fleet topology (before run) -----------------------------------------
+  /// Add one simulated machine; returns its index. `host_config.tick` must
+  /// equal the cluster tick, and hosts must be added before time advances.
+  int add_host(container::HostConfig host_config = {});
+
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  container::Host& host(int index) { return *hosts_.at(static_cast<std::size_t>(index)).host; }
+  container::ContainerRuntime& runtime(int index) {
+    return *hosts_.at(static_cast<std::size_t>(index)).runtime;
+  }
+
+  /// Register a cluster-level component (rebalancer, router), dispatched
+  /// after all hosts advanced each tick — same TickComponent contract as
+  /// sim::Engine (tick_period re-queried after each dispatch, registration
+  /// order breaks due-time ties). Not owned.
+  void add_component(sim::TickComponent* component);
+
+  // --- time ----------------------------------------------------------------
+  SimTime now() const { return now_; }
+  void step();
+  void run_for(SimDuration duration);
+
+  // --- pods ----------------------------------------------------------------
+  /// Create a pod on `host_index` (placement already decided — see
+  /// ClusterScheduler). Returns the pod id.
+  int create_pod(int host_index, PodSpec spec, WorkloadFactory factory = {});
+
+  /// Stop the pod's container and destroy its workload. Request stats are
+  /// harvested into pod.archived first.
+  void stop_pod(int pod_id);
+
+  /// Stop-and-recreate migration toward `target_host`. The pod is gone from
+  /// the source immediately and lands on the target after the freeze
+  /// (base + committed/bandwidth); its requests are reserved on the target
+  /// for the whole flight so placement cannot double-book the slot.
+  void migrate_pod(int pod_id, int target_host);
+
+  Pod& pod(int id) { return pods_.at(static_cast<std::size_t>(id)); }
+  const Pod& pod(int id) const { return pods_.at(static_cast<std::size_t>(id)); }
+  int pod_count() const { return static_cast<int>(pods_.size()); }
+  int pods_on(int host_index) const { return hosts_.at(static_cast<std::size_t>(host_index)).pods; }
+  std::uint64_t migrations() const { return migrations_; }
+
+  // --- observed state ------------------------------------------------------
+  /// The strategy-facing view of one host: declared request sums from the
+  /// cluster ledger, observed slack/free-memory from the host snapshot.
+  HostView host_view(int index) const;
+  std::vector<HostView> host_views() const;
+
+  /// Idle CPU time accumulated on the host during the last *completed*
+  /// observation window (a fresh host reports a fully idle window).
+  CpuTime window_slack(int index) const {
+    return hosts_.at(static_cast<std::size_t>(index)).window_slack;
+  }
+
+  Rng& rng() { return rng_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// The cluster trace recorder, or nullptr when tracing is disabled.
+  obs::TraceRecorder* trace() { return trace_.get(); }
+  const obs::TraceRecorder* trace() const { return trace_.get(); }
+
+ private:
+  struct HostState {
+    std::unique_ptr<container::Host> host;
+    std::unique_ptr<container::ContainerRuntime> runtime;
+    // Declared-request ledger over the pods currently on (or in flight to)
+    // the host — what the "requests" strategy packs against.
+    std::int64_t requested_millicpu = 0;
+    Bytes requested_memory = 0;
+    int pods = 0;
+    // Slack observation window (integer accumulation; see window_slack()).
+    CpuTime window_slack = 0;
+    CpuTime accum_slack = 0;
+    CpuTime last_total_slack = 0;
+  };
+  struct PendingMigration {
+    SimTime due = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break at equal due times
+    int pod = -1;
+  };
+  struct Dispatch {
+    sim::TickComponent* component = nullptr;
+    SimTime next = 0;
+    SimTime last = 0;
+  };
+
+  void observe_slack();
+  void settle_migrations();
+  void dispatch_components();
+  void land_pod(Pod& pod);
+  void harvest_stats(Pod& pod);
+  void register_host_trace(int index);
+
+  ClusterConfig config_;
+  Rng rng_;
+  SimTime now_ = 0;
+  SimDuration window_elapsed_ = 0;
+  std::vector<HostState> hosts_;
+  std::vector<Pod> pods_;
+  std::vector<PendingMigration> pending_;
+  std::uint64_t next_migration_seq_ = 0;
+  std::vector<Dispatch> components_;
+  std::uint64_t migrations_ = 0;
+  std::unique_ptr<obs::TraceRecorder> trace_;  ///< null when tracing is off
+};
+
+}  // namespace arv::cluster

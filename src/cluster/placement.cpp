@@ -1,0 +1,172 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace arv::cluster {
+namespace {
+
+using container::QosClass;
+
+/// Scoring resolution: allocation/headroom fractions in per-mille so every
+/// score stays in exact integer arithmetic (determinism across platforms).
+constexpr std::int64_t kScale = 1000;
+
+std::int64_t frac_of(std::int64_t part, std::int64_t whole) {
+  if (whole <= 0) {
+    return 0;
+  }
+  return std::clamp<std::int64_t>(part * kScale / whole, 0, kScale);
+}
+
+int qos_rank(const PodSpec& pod) {
+  switch (container::qos_class(pod.resources)) {
+    case QosClass::kGuaranteed:
+      return 0;
+    case QosClass::kBurstable:
+      return 1;
+    case QosClass::kBestEffort:
+      return 2;
+  }
+  return 2;
+}
+
+/// kube-scheduler baseline: feasibility and scoring on declared requests
+/// only. Packing flavour (MostAllocated): the tightest-fitting host wins, so
+/// requests concentrate and whole hosts stay free for big pods — and so the
+/// strategy inherits the semantic gap when requests overstate actual usage.
+class RequestsStrategy final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "requests"; }
+
+  int queue_rank(const PodSpec& pod) const override { return qos_rank(pod); }
+
+  int select(const PodSpec& pod, const std::vector<HostView>& hosts,
+             Rng& rng) const override {
+    const auto& r = pod.resources;
+    std::vector<std::int64_t> scores(hosts.size(), -1);
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      const HostView& h = hosts[i];
+      const std::int64_t cpu_after = h.requested_millicpu + r.request_millicpu;
+      const Bytes mem_after = h.requested_memory + r.request_memory;
+      if (cpu_after > h.capacity_millicpu || mem_after > h.capacity_memory) {
+        continue;  // does not fit on declared requests
+      }
+      scores[i] =
+          frac_of(cpu_after, h.capacity_millicpu) + frac_of(mem_after, h.capacity_memory);
+    }
+    return pick_best(scores, rng);
+  }
+};
+
+/// Effective-capacity placement: trusts what the host machinery *observes*
+/// (window slack from the scheduler the Ns_Monitor reads, current free
+/// memory) instead of what operators declared. A host whose declared
+/// requests are oversubscribed but whose containers idle still shows slack
+/// and keeps accepting pods; a host with pslack pinned at zero does not,
+/// whatever its request ledger says.
+class EffectiveStrategy final : public PlacementStrategy {
+ public:
+  /// A host must show at least this much observed idle CPU to be feasible.
+  static constexpr std::int64_t kMinSlackMillicpu = 100;  // a tenth of a core
+  /// Free memory kept in reserve beyond the pod's own request.
+  static constexpr Bytes kMemReserve = 64 * units::MiB;
+
+  std::string name() const override { return "effective"; }
+
+  int select(const PodSpec& pod, const std::vector<HostView>& hosts,
+             Rng& rng) const override {
+    const auto& r = pod.resources;
+    std::vector<std::int64_t> scores(hosts.size(), -1);
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      const HostView& h = hosts[i];
+      if (h.slack_millicpu < kMinSlackMillicpu) {
+        continue;  // observed saturated: placing here only adds interference
+      }
+      if (h.free_memory < r.request_memory + kMemReserve) {
+        continue;  // would start reclaiming immediately
+      }
+      // Headroom of the bottleneck resource, in per-mille of capacity. min()
+      // rather than a sum: a host with idle CPUs but no free memory (or the
+      // reverse) is a bad home whatever the other axis says.
+      const std::int64_t cpu_headroom = frac_of(h.slack_millicpu, h.capacity_millicpu);
+      const std::int64_t mem_headroom =
+          frac_of(h.free_memory - r.request_memory, h.capacity_memory);
+      scores[i] = std::min(cpu_headroom, mem_headroom);
+    }
+    return pick_best(scores, rng);
+  }
+};
+
+}  // namespace
+
+int PlacementStrategy::queue_rank(const PodSpec& /*pod*/) const { return 0; }
+
+int pick_best(const std::vector<std::int64_t>& scores, Rng& rng) {
+  std::int64_t best = -1;
+  int ties = 0;
+  for (const std::int64_t score : scores) {
+    if (score > best) {
+      best = score;
+      ties = 1;
+    } else if (score >= 0 && score == best) {
+      ++ties;
+    }
+  }
+  if (best < 0) {
+    return -1;
+  }
+  // Reservoir-style single pass is overkill for a handful of hosts; pick the
+  // n-th tie directly so exactly one rng draw happens per decision with ties.
+  const std::int64_t pick = ties > 1 ? rng.uniform_int(0, ties - 1) : 0;
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] == best) {
+      if (seen == pick) {
+        return static_cast<int>(i);
+      }
+      ++seen;
+    }
+  }
+  return -1;  // unreachable
+}
+
+PlacementRegistry::PlacementRegistry() {
+  register_strategy("requests",
+                    [] { return std::make_unique<RequestsStrategy>(); });
+  register_strategy("effective",
+                    [] { return std::make_unique<EffectiveStrategy>(); });
+}
+
+PlacementRegistry& PlacementRegistry::instance() {
+  static PlacementRegistry registry;
+  return registry;
+}
+
+void PlacementRegistry::register_strategy(const std::string& name,
+                                          Factory factory) {
+  ARV_ASSERT(factory != nullptr);
+  factories_[name] = std::move(factory);
+}
+
+bool PlacementRegistry::has(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::unique_ptr<PlacementStrategy> PlacementRegistry::make(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : it->second();
+}
+
+std::vector<std::string> PlacementRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace arv::cluster

@@ -1,0 +1,113 @@
+// Placement strategies: which host should run the next pod?
+//
+// Cluster managers (Mesos/YARN/Kubernetes) place containers by *declared*
+// requests and limits — exactly the static signal the paper's Algorithms 1/2
+// show diverges from what a container can actually use. ARC-V
+// (arXiv:2505.02964) and C-Balancer (arXiv:2009.08912) argue placement should
+// instead consume the observed effective capacity. This registry holds both
+// ends of that argument:
+//
+//   "requests"   kube-scheduler-style bin-packing on K8sResources requests —
+//                the baseline every real cluster runs today. Feasibility and
+//                scoring never look at what hosts are actually doing.
+//   "effective"  scores hosts by observed slack CPU and free-memory headroom
+//                (the signals the per-host Ns_Monitor machinery maintains),
+//                so an overcommitted-but-idle host still accepts pods and a
+//                saturated one does not.
+//
+// The name-keyed registry mirrors core::PolicyRegistry: new strategies are
+// one-file additions, selected per placement call by name.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/container/k8s.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace arv::cluster {
+
+/// A pod to place: a name, the Kubernetes resource spec, the view toggle.
+struct PodSpec {
+  std::string name;  ///< empty => the cluster assigns "pod-<N>"
+  container::K8sResources resources;
+  /// Create the adaptive resource view inside the pod's container.
+  bool enable_view = true;
+};
+
+/// What a strategy sees about one host at decision time. Declared numbers
+/// come from the cluster's own bookkeeping of placed pods; observed numbers
+/// from the host's snapshot (scheduler slack, free memory).
+struct HostView {
+  int index = 0;
+  // --- capacity ------------------------------------------------------------
+  std::int64_t capacity_millicpu = 0;  ///< online CPUs * 1000
+  Bytes capacity_memory = 0;           ///< physical RAM
+  // --- declared (sum of requests over pods currently on the host) ---------
+  std::int64_t requested_millicpu = 0;
+  Bytes requested_memory = 0;
+  int pods = 0;
+  // --- observed ------------------------------------------------------------
+  /// Idle CPU over the last observation window, in milli-CPUs (1000 = one
+  /// whole core sat unused). A fresh, never-observed host reports full idle.
+  std::int64_t slack_millicpu = 0;
+  Bytes free_memory = 0;
+};
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  /// Registry name this instance was created under.
+  virtual std::string name() const = 0;
+
+  /// Batch-ordering rank: in place_all, pods place in ascending rank (stable
+  /// within a rank, so submission order breaks rank ties). The default ranks
+  /// everything 0; "requests" ranks by QoS class so BestEffort pods pack
+  /// last, mirroring how kube-scheduler's queue orders contenders.
+  virtual int queue_rank(const PodSpec& pod) const;
+
+  /// Choose a host for `pod`, or -1 when no host fits. `rng` breaks score
+  /// ties (kube-scheduler also picks randomly among equal-score hosts); a
+  /// strategy must consume randomness only for ties so placement stays
+  /// deterministic under a fixed seed.
+  virtual int select(const PodSpec& pod, const std::vector<HostView>& hosts,
+                     Rng& rng) const = 0;
+};
+
+/// Name-keyed strategy factory, mirroring core::PolicyRegistry. The built-in
+/// strategies ("requests", "effective") are registered on first use.
+class PlacementRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<PlacementStrategy>()>;
+
+  /// The process-wide registry (the simulation is single-threaded).
+  static PlacementRegistry& instance();
+
+  /// Register/replace a factory under `name`.
+  void register_strategy(const std::string& name, Factory factory);
+
+  bool has(const std::string& name) const;
+
+  /// Instantiate a strategy; nullptr for unknown names.
+  std::unique_ptr<PlacementStrategy> make(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  PlacementRegistry();
+
+  std::map<std::string, Factory> factories_;
+};
+
+/// Pick uniformly among the feasible hosts with the highest score (ties are
+/// what kube-scheduler randomizes). `scores` uses < 0 for infeasible hosts.
+/// Returns -1 when every host is infeasible. Shared by the built-ins.
+int pick_best(const std::vector<std::int64_t>& scores, Rng& rng);
+
+}  // namespace arv::cluster

@@ -1,0 +1,74 @@
+#include "src/cluster/pod_workloads.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/workloads/hogs.h"
+
+namespace arv::cluster {
+namespace {
+
+class WebWorkload final : public PodWorkload {
+ public:
+  WebWorkload(container::Host& host, container::Container& container,
+              server::WebConfig config)
+      : server_(host, container, config) {}
+
+  server::WorkerPoolServer* request_sink() override { return &server_; }
+
+ private:
+  server::WorkerPoolServer server_;
+};
+
+class CpuHogWorkload final : public PodWorkload {
+ public:
+  CpuHogWorkload(container::Host& host, container::Container& container,
+                 int threads, SimDuration budget)
+      : hog_(host, container, threads, budget) {}
+
+ private:
+  workloads::CpuHog hog_;
+};
+
+class MemHogWorkload final : public PodWorkload {
+ public:
+  MemHogWorkload(container::Host& host, container::Container& container,
+                 Bytes footprint, Bytes charge_per_sec)
+      : hog_(host, container, footprint, charge_per_sec) {}
+
+ private:
+  workloads::MemHog hog_;
+};
+
+}  // namespace
+
+WorkloadFactory web_replica(server::WebConfig config) {
+  config.arrivals_per_sec = 0;  // the router is the only traffic source
+  return [config](container::Host& host, container::Container& container) {
+    return std::make_unique<WebWorkload>(host, container, config);
+  };
+}
+
+WorkloadFactory web_standalone(server::WebConfig config) {
+  return [config](container::Host& host, container::Container& container) {
+    return std::make_unique<WebWorkload>(host, container, config);
+  };
+}
+
+WorkloadFactory cpu_hog_workload(int threads, SimDuration cpu_budget) {
+  return [threads, cpu_budget](container::Host& host,
+                               container::Container& container) {
+    return std::make_unique<CpuHogWorkload>(host, container, threads,
+                                            cpu_budget);
+  };
+}
+
+WorkloadFactory mem_hog_workload(Bytes footprint, Bytes charge_per_sec) {
+  return [footprint, charge_per_sec](container::Host& host,
+                                     container::Container& container) {
+    return std::make_unique<MemHogWorkload>(host, container, footprint,
+                                            charge_per_sec);
+  };
+}
+
+}  // namespace arv::cluster

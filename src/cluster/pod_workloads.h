@@ -1,0 +1,32 @@
+// PodWorkload adapters: the existing single-host workloads wrapped so the
+// Cluster can own, destroy, and re-create them across migrations.
+//
+// Each free function returns a WorkloadFactory — the re-invocable recipe the
+// Cluster stores on the Pod and calls once at placement and again after
+// every migration. The objects themselves detach from the scheduler in their
+// destructors, which is exactly what a migration's teardown relies on.
+#pragma once
+
+#include "src/cluster/cluster.h"
+#include "src/server/server_runtime.h"
+#include "src/util/types.h"
+
+namespace arv::cluster {
+
+/// A WorkerPoolServer replica. The router drives arrivals, so the config's
+/// arrivals_per_sec is forced to 0 — a replica behind a load balancer does
+/// not generate its own traffic.
+WorkloadFactory web_replica(server::WebConfig config);
+
+/// A self-driving WorkerPoolServer (keeps its own open-loop arrival stream);
+/// for fleets without a router.
+WorkloadFactory web_standalone(server::WebConfig config);
+
+/// A sysbench-style CPU burner: `threads` runnable threads with a total CPU
+/// budget (re-budgeted from scratch if the pod migrates).
+WorkloadFactory cpu_hog_workload(int threads, SimDuration cpu_budget);
+
+/// A memory hog charging up to `footprint` at `charge_per_sec`.
+WorkloadFactory mem_hog_workload(Bytes footprint, Bytes charge_per_sec);
+
+}  // namespace arv::cluster

@@ -1,0 +1,138 @@
+#include "src/cluster/rebalancer.h"
+
+#include <algorithm>
+
+#include "src/container/container.h"
+#include "src/sched/fair_scheduler.h"
+#include "src/util/assert.h"
+#include "src/util/log.h"
+
+namespace arv::cluster {
+
+Rebalancer::Rebalancer(Cluster& cluster, RebalanceConfig config)
+    : cluster_(cluster), config_(config) {
+  ARV_ASSERT(config_.period > 0);
+  ARV_ASSERT(config_.saturated_rounds >= 1);
+  track_.resize(static_cast<std::size_t>(cluster_.host_count()));
+  for (int i = 0; i < cluster_.host_count(); ++i) {
+    track_[static_cast<std::size_t>(i)].last_total_slack = cluster_.host(i).scheduler().total_slack();
+  }
+}
+
+void Rebalancer::tick(SimTime now, SimDuration dt) {
+  ARV_ASSERT_MSG(static_cast<int>(track_.size()) == cluster_.host_count(),
+                 "hosts added after the rebalancer was constructed");
+  // 1. Judge the round: did each host show any real idle time since the
+  //    last one? total_slack is cumulative, so the round's slack is a delta.
+  for (int i = 0; i < cluster_.host_count(); ++i) {
+    HostTrack& track = track_[static_cast<std::size_t>(i)];
+    const CpuTime total = cluster_.host(i).scheduler().total_slack();
+    const CpuTime round_slack = total - track.last_total_slack;
+    track.last_total_slack = total;
+    const CpuTime round_capacity =
+        static_cast<CpuTime>(cluster_.host(i).cpus()) * dt;
+    const CpuTime epsilon =
+        round_capacity * config_.slack_epsilon_permille / 1000;
+    if (round_slack <= epsilon) {
+      ++track.saturated_rounds;
+    } else {
+      track.saturated_rounds = 0;
+    }
+  }
+
+  // 2. Refresh the per-pod usage deltas (who burned CPU this round). Done
+  //    every round, not only when migrating, so the signal is always warm.
+  std::map<int, CpuTime> round_usage;
+  for (int id = 0; id < cluster_.pod_count(); ++id) {
+    const Pod& pod = cluster_.pod(id);
+    if (!pod.running()) {
+      pod_last_usage_.erase(id);
+      continue;
+    }
+    const CpuTime usage = cluster_.host(pod.host).scheduler().total_usage(
+        pod.container->cgroup());
+    const auto it = pod_last_usage_.find(id);
+    // A freshly-landed pod has no baseline; its first round reads as zero
+    // rather than as its entire lifetime burn.
+    round_usage[id] = it == pod_last_usage_.end()
+                          ? 0
+                          : std::max<CpuTime>(0, usage - it->second);
+    pod_last_usage_[id] = usage;
+  }
+
+  // 3. At most one migration per round: the lowest-indexed host that has
+  //    been saturated K rounds running and is out of cooldown evicts its
+  //    hottest eligible pod to the roomiest feasible target.
+  for (int source = 0; source < cluster_.host_count(); ++source) {
+    HostTrack& track = track_[static_cast<std::size_t>(source)];
+    if (track.saturated_rounds < config_.saturated_rounds ||
+        now < track.cooldown_until || cluster_.pods_on(source) == 0) {
+      continue;
+    }
+
+    // Victim: biggest CPU consumer this round, past its residency minimum.
+    int victim = -1;
+    CpuTime victim_usage = -1;
+    for (int id = 0; id < cluster_.pod_count(); ++id) {
+      const Pod& pod = cluster_.pod(id);
+      if (!pod.running() || pod.host != source ||
+          now - pod.placed_at < config_.min_residency) {
+        continue;
+      }
+      const CpuTime usage = round_usage[id];
+      if (usage > victim_usage) {  // ties keep the lowest pod id
+        victim = id;
+        victim_usage = usage;
+      }
+    }
+    if (victim < 0) {
+      continue;
+    }
+    const Pod& pod = cluster_.pod(victim);
+    const Bytes victim_bytes =
+        cluster_.host(source).memory().committed(pod.container->cgroup());
+
+    // Target: best observed headroom among out-of-cooldown hosts that can
+    // absorb the victim's state plus the configured reserves. Ties go to
+    // the lowest index — the rebalancer never draws randomness, so adding
+    // it to a scenario cannot shift placement's rng stream.
+    int target = -1;
+    std::int64_t target_score = -1;
+    for (int i = 0; i < cluster_.host_count(); ++i) {
+      if (i == source || now < track_[static_cast<std::size_t>(i)].cooldown_until) {
+        continue;
+      }
+      const HostView view = cluster_.host_view(i);
+      if (view.slack_millicpu < config_.target_min_slack_millicpu ||
+          view.free_memory < victim_bytes + config_.target_min_free) {
+        continue;
+      }
+      const std::int64_t cpu_headroom =
+          view.slack_millicpu * 1000 / std::max<std::int64_t>(1, view.capacity_millicpu);
+      const std::int64_t mem_headroom =
+          (view.free_memory - victim_bytes) * 1000 /
+          std::max<Bytes>(1, view.capacity_memory);
+      const std::int64_t score = std::min(cpu_headroom, mem_headroom);
+      if (score > target_score) {
+        target = i;
+        target_score = score;
+      }
+    }
+    if (target < 0) {
+      continue;
+    }
+
+    ARV_LOG(kInfo, "rebalance",
+            "h%d saturated %d rounds: migrating pod %d -> h%d", source,
+            track.saturated_rounds, victim, target);
+    cluster_.migrate_pod(victim, target);
+    pod_last_usage_.erase(victim);  // baseline restarts on the new host
+    track.saturated_rounds = 0;
+    track.cooldown_until = now + config_.cooldown;
+    track_[static_cast<std::size_t>(target)].cooldown_until = now + config_.cooldown;
+    ++migrations_;
+    break;  // one migration per round
+  }
+}
+
+}  // namespace arv::cluster

@@ -1,0 +1,80 @@
+// Rebalancer — C-Balancer-style corrective migration.
+//
+// Placement decides once; load changes afterwards. The rebalancer watches
+// each host's slack between rounds and, when a host has shown (effectively)
+// zero slack for K consecutive rounds while another host has observed
+// headroom, migrates one container from the saturated host to the roomiest
+// one. Guard rails against thrashing:
+//
+//   * K consecutive saturated rounds before a host qualifies as a source
+//     (a single busy round never triggers a move);
+//   * per-host cooldown after a migration (source and target both sit out);
+//   * per-pod minimum residency (a freshly-landed pod cannot bounce);
+//   * at most one migration per round, and the migration itself costs a
+//     freeze proportional to the pod's committed memory (Cluster's model),
+//     so even a misjudged move is paid for, not free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/sim/engine.h"
+
+namespace arv::cluster {
+
+struct RebalanceConfig {
+  /// Round length (how often host slack is judged).
+  SimDuration period = 250 * units::msec;
+  /// A host is a migration source after this many consecutive rounds with
+  /// slack below slack_epsilon_frac of its round capacity.
+  int saturated_rounds = 4;
+  /// "Zero slack" tolerance, in per-mille of the host's round capacity:
+  /// idle time under this counts as none (scheduling crumbs are not
+  /// headroom). Integer so the trigger stays in exact arithmetic.
+  std::int64_t slack_epsilon_permille = 10;
+  /// A target must show at least this much observed idle CPU...
+  std::int64_t target_min_slack_millicpu = 1000;  // one whole idle core
+  /// ...and keep this much free memory beyond the pod's committed state.
+  Bytes target_min_free = 256 * units::MiB;
+  /// Post-migration quiet time for both the source and the target host.
+  SimDuration cooldown = 2 * units::sec;
+  /// A pod must have lived this long on its host before moving (again).
+  SimDuration min_residency = 2 * units::sec;
+};
+
+class Rebalancer : public sim::TickComponent {
+ public:
+  Rebalancer(Cluster& cluster, RebalanceConfig config = {});
+
+  // --- sim::TickComponent (dispatched by Cluster) ---------------------------
+  void tick(SimTime now, SimDuration dt) override;
+  std::string name() const override { return "cluster.rebalancer"; }
+  SimDuration tick_period() const override { return config_.period; }
+
+  std::uint64_t migrations() const { return migrations_; }
+  int saturated_rounds(int host) const {
+    return track_.at(static_cast<std::size_t>(host)).saturated_rounds;
+  }
+
+ private:
+  struct HostTrack {
+    int saturated_rounds = 0;
+    SimTime cooldown_until = 0;
+    CpuTime last_total_slack = 0;
+  };
+
+  /// The pod to evict from `host`: the biggest CPU consumer since the last
+  /// round (moving it relieves the most pressure); ties go to the lowest pod
+  /// id. -1 when nothing on the host is eligible.
+  int pick_victim(int host, SimTime now, Bytes target_free);
+
+  Cluster& cluster_;
+  RebalanceConfig config_;
+  std::vector<HostTrack> track_;
+  std::map<int, CpuTime> pod_last_usage_;  ///< pod id -> cumulative CPU usage
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace arv::cluster

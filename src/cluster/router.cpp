@@ -1,0 +1,67 @@
+#include "src/cluster/router.h"
+
+#include "src/server/server_runtime.h"
+#include "src/util/assert.h"
+
+namespace arv::cluster {
+
+RequestRouter::RequestRouter(Cluster& cluster, RouterConfig config)
+    : cluster_(cluster), config_(config) {
+  ARV_ASSERT(config_.arrivals_per_sec >= 0);
+}
+
+void RequestRouter::add_replica(int pod_id) {
+  server::WorkerPoolServer* s = sink(pod_id);
+  ARV_ASSERT_MSG(s != nullptr || cluster_.pod(pod_id).in_flight(),
+                 "replica pod has no request sink");
+  replicas_.push_back(pod_id);
+}
+
+server::WorkerPoolServer* RequestRouter::sink(int pod_id) const {
+  const Pod& pod = cluster_.pod(pod_id);
+  return pod.workload == nullptr ? nullptr : pod.workload->request_sink();
+}
+
+void RequestRouter::tick(SimTime now, SimDuration dt) {
+  accumulator_ += config_.arrivals_per_sec * static_cast<double>(dt) /
+                  static_cast<double>(units::sec);
+  while (accumulator_ >= 1.0) {
+    accumulator_ -= 1.0;
+    // Join-shortest-queue over the replicas that are up right now; ties go
+    // to the earliest-added replica.
+    server::WorkerPoolServer* best = nullptr;
+    std::size_t best_depth = 0;
+    for (const int pod_id : replicas_) {
+      server::WorkerPoolServer* s = sink(pod_id);
+      if (s == nullptr) {
+        continue;  // stopped, or frozen mid-migration
+      }
+      if (best == nullptr || s->queue_depth() < best_depth) {
+        best = s;
+        best_depth = s->queue_depth();
+      }
+    }
+    if (best == nullptr) {
+      ++unroutable_;
+      continue;
+    }
+    if (best->inject_request(now)) {
+      ++routed_;
+    } else {
+      ++dropped_;
+    }
+  }
+}
+
+server::RequestStats RequestRouter::aggregate() const {
+  server::RequestStats total;
+  for (const int pod_id : replicas_) {
+    total.merge(cluster_.pod(pod_id).archived);
+    if (const server::WorkerPoolServer* s = sink(pod_id)) {
+      total.merge(s->stats());
+    }
+  }
+  return total;
+}
+
+}  // namespace arv::cluster

@@ -1,0 +1,63 @@
+// RequestRouter — the fleet's front door.
+//
+// Generates an open-loop request stream (like the per-server generators in
+// server_runtime, but cluster-wide) and routes each request to one replica's
+// WorkerPoolServer via inject_request. The balancing rule is
+// join-shortest-queue over the replicas that are currently running; ties go
+// to the lowest replica index, so routing consumes no randomness and cannot
+// perturb placement's rng stream.
+//
+// Replicas are pods (by id), not raw server pointers: a migrating replica
+// simply drops out of rotation during its freeze and rejoins when it lands,
+// and its request history survives in Pod::archived. A request that arrives
+// while *no* replica is up counts as unroutable (the fleet-level error the
+// paper's per-host metrics cannot see).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/sim/engine.h"
+
+namespace arv::cluster {
+
+struct RouterConfig {
+  /// Open-loop arrival rate across the whole fleet.
+  double arrivals_per_sec = 800;
+};
+
+class RequestRouter : public sim::TickComponent {
+ public:
+  RequestRouter(Cluster& cluster, RouterConfig config = {});
+
+  /// Add a pod to the rotation. The pod's workload must expose a
+  /// request_sink (see PodWorkload); pods without one are rejected.
+  void add_replica(int pod_id);
+
+  // --- sim::TickComponent (dispatched by Cluster) ---------------------------
+  void tick(SimTime now, SimDuration dt) override;
+  std::string name() const override { return "cluster.router"; }
+  SimDuration tick_period() const override { return 0; }  // every tick
+
+  std::uint64_t routed() const { return routed_; }
+  std::uint64_t unroutable() const { return unroutable_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Fleet-wide request stats: every replica's live sink merged with the
+  /// history harvested across migrations (Pod::archived).
+  server::RequestStats aggregate() const;
+
+ private:
+  server::WorkerPoolServer* sink(int pod_id) const;
+
+  Cluster& cluster_;
+  RouterConfig config_;
+  std::vector<int> replicas_;  ///< pod ids, rotation order = add order
+  double accumulator_ = 0;
+  std::uint64_t routed_ = 0;
+  std::uint64_t unroutable_ = 0;
+  std::uint64_t dropped_ = 0;  ///< accepted by JSQ but refused by the sink
+};
+
+}  // namespace arv::cluster

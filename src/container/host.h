@@ -7,6 +7,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/cgroup/cgroup.h"
 #include "src/core/ns_monitor.h"
@@ -35,6 +37,27 @@ struct HostConfig {
   bool trace_decision_series = false;
 };
 
+/// One container's effective view as seen from outside the host.
+struct ContainerViewInfo {
+  cgroup::CgroupId cgroup = -1;
+  std::string name;
+  int e_cpu = 0;
+  Bytes e_mem = 0;
+};
+
+/// Point-in-time host load summary for cluster-level consumers (placement,
+/// rebalancing, routing): the *observed* signals — slack, free memory, the
+/// per-container effective views — rather than declared requests/limits.
+struct HostSnapshot {
+  int cpus = 0;
+  Bytes ram = 0;
+  CpuTime total_slack = 0;      ///< cumulative idle capacity (scheduler)
+  CpuTime last_tick_slack = 0;  ///< idle capacity during the latest tick
+  Bytes free_memory = 0;
+  int nr_running = 0;
+  std::vector<ContainerViewInfo> views;  ///< one per registered sys_namespace
+};
+
 class Host {
  public:
   explicit Host(const HostConfig& config = {});
@@ -54,8 +77,12 @@ class Host {
   const obs::TraceRecorder* trace() const { return trace_.get(); }
 
   int cpus() const { return config_.cpus; }
+  Bytes ram() const { return config_.ram; }
   SimTime now() const { return engine_.now(); }
   void run_for(SimDuration duration) { engine_.run_for(duration); }
+
+  /// Observed load summary (see HostSnapshot). Read-only.
+  HostSnapshot snapshot() const;
 
  private:
   HostConfig config_;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 
 #include "src/util/assert.h"
 
@@ -54,6 +55,76 @@ ContainerConfig pod_container(const std::string& name, const K8sResources& r,
   return config;
 }
 
+namespace {
+
+/// 2^63 as a double: any result at or above this cannot be represented in a
+/// signed 64-bit quantity, and casting it would be undefined behaviour (in
+/// practice, a wrapped negative). Parsers reject instead.
+constexpr double kInt64Overflow = 9223372036854775808.0;
+
+/// Length of the mantissa prefix (digits and at most one dot) of `text`;
+/// 0 means there is no leading number at all.
+std::size_t mantissa_length(const std::string& text) {
+  std::size_t pos = 0;
+  bool dot = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c == '.') {
+      if (dot) {
+        return 0;  // "1..5" and friends
+      }
+      dot = true;
+    } else if (!std::isdigit(static_cast<unsigned char>(c))) {
+      break;
+    }
+    ++pos;
+  }
+  return pos == 1 && dot ? 0 : pos;  // a lone "." is not a number
+}
+
+/// True when text[pos..] is a decimal-exponent tail ("e3", "E-2", "e+6")
+/// that runs to the end of the string. A bare "E" is *not* an exponent —
+/// it is the exa suffix — which is why the digits are required.
+bool is_exponent_tail(const std::string& text, std::size_t pos) {
+  if (pos >= text.size() || (text[pos] != 'e' && text[pos] != 'E')) {
+    return false;
+  }
+  std::size_t digit = pos + 1;
+  if (digit < text.size() && (text[digit] == '+' || text[digit] == '-')) {
+    ++digit;
+  }
+  if (digit == text.size()) {
+    return false;
+  }
+  for (std::size_t i = digit; i < text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// `strtod` over exactly `text`, rejecting anything stod would wave through
+/// that a Kubernetes quantity forbids (whitespace, signs, hex, inf/nan).
+bool parse_number(const std::string& text, double* out) {
+  const std::size_t mantissa = mantissa_length(text);
+  if (mantissa == 0) {
+    return false;
+  }
+  if (mantissa != text.size() && !is_exponent_tail(text, mantissa)) {
+    return false;
+  }
+  try {
+    std::size_t used = 0;
+    *out = std::stod(text, &used);
+    return used == text.size() && std::isfinite(*out) && *out >= 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
 std::int64_t parse_cpu_quantity(const std::string& text) {
   if (text.empty()) {
     return -1;
@@ -64,40 +135,37 @@ std::int64_t parse_cpu_quantity(const std::string& text) {
     const auto [ptr, ec] = std::from_chars(text.data(), end, milli);
     return ec == std::errc{} && ptr == end && milli >= 0 ? milli : -1;
   }
-  // Whole (or fractional) cores.
+  // Whole (or fractional) cores, exponent forms included ("0.5", "2", "1e2").
   double cores = 0;
-  try {
-    std::size_t used = 0;
-    cores = std::stod(text, &used);
-    if (used != text.size() || cores < 0) {
-      return -1;
-    }
-  } catch (...) {
+  if (!parse_number(text, &cores)) {
     return -1;
   }
-  return static_cast<std::int64_t>(cores * 1000.0 + 0.5);
+  const double milli = cores * 1000.0 + 0.5;
+  if (milli >= kInt64Overflow) {
+    return -1;  // would wrap negative in the cast
+  }
+  return static_cast<std::int64_t>(milli);
 }
 
 Bytes parse_memory_quantity(const std::string& text) {
   if (text.empty()) {
     return -1;
   }
-  std::size_t pos = 0;
-  while (pos < text.size() &&
-         (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.')) {
-    ++pos;
-  }
+  const std::size_t pos = mantissa_length(text);
   if (pos == 0) {
     return -1;
   }
-  double value = 0;
-  try {
-    std::size_t used = 0;
-    value = std::stod(text.substr(0, pos), &used);
-    if (used != pos || value < 0) {
+  // Decimal-exponent form ("128974848e0", "1e9"): the exponent *is* the
+  // scale, so it must end the string — no suffix can follow.
+  if (is_exponent_tail(text, pos)) {
+    double value = 0;
+    if (!parse_number(text, &value) || value >= kInt64Overflow) {
       return -1;
     }
-  } catch (...) {
+    return static_cast<Bytes>(value);
+  }
+  double value = 0;
+  if (!parse_number(text.substr(0, pos), &value)) {
     return -1;
   }
   const std::string suffix = text.substr(pos);
@@ -112,6 +180,10 @@ Bytes parse_memory_quantity(const std::string& text) {
     scale = 1024.0 * 1024.0 * 1024.0;
   } else if (suffix == "Ti") {
     scale = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else if (suffix == "Pi") {
+    scale = 1024.0 * 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else if (suffix == "Ei") {
+    scale = 1024.0 * 1024.0 * 1024.0 * 1024.0 * 1024.0 * 1024.0;
   } else if (suffix == "k" || suffix == "K") {
     scale = 1e3;
   } else if (suffix == "M") {
@@ -120,10 +192,18 @@ Bytes parse_memory_quantity(const std::string& text) {
     scale = 1e9;
   } else if (suffix == "T") {
     scale = 1e12;
+  } else if (suffix == "P") {
+    scale = 1e15;
+  } else if (suffix == "E") {
+    scale = 1e18;
   } else {
     return -1;
   }
-  return static_cast<Bytes>(value * scale);
+  const double bytes = value * scale;
+  if (bytes >= kInt64Overflow) {
+    return -1;  // "16E", "8Ei": reject instead of wrapping negative
+  }
+  return static_cast<Bytes>(bytes);
 }
 
 }  // namespace arv::container

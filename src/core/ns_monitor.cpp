@@ -118,6 +118,15 @@ void NsMonitor::register_ns_trace(Tracked& tracked) {
   }
 }
 
+std::vector<std::shared_ptr<SysNamespace>> NsMonitor::views() const {
+  std::vector<std::shared_ptr<SysNamespace>> out;
+  out.reserve(namespaces_.size());
+  for (const auto& [id, tracked] : namespaces_) {
+    out.push_back(tracked.ns);
+  }
+  return out;
+}
+
 std::shared_ptr<SysNamespace> NsMonitor::lookup(cgroup::CgroupId id) const {
   const auto it = namespaces_.find(id);
   return it == namespaces_.end() ? nullptr : it->second.ns;

@@ -48,6 +48,10 @@ class NsMonitor : public sim::TickComponent {
   std::shared_ptr<SysNamespace> lookup(cgroup::CgroupId id) const;
   std::size_t registered_count() const { return namespaces_.size(); }
 
+  /// All registered namespaces in cgroup-id order. Cluster-level consumers
+  /// (placement, rebalancing) read each container's effective view from here.
+  std::vector<std::shared_ptr<SysNamespace>> views() const;
+
   /// Force an immediate update round (used by tests and the overhead bench).
   /// Applies any coalesced bound refresh first.
   void update_all(SimTime now);

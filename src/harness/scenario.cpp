@@ -1,7 +1,9 @@
 #include "src/harness/scenario.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "src/cluster/pod_workloads.h"
 #include "src/util/assert.h"
 #include "src/util/str.h"
 
@@ -98,6 +100,46 @@ std::vector<OmpRunResult> OmpScenario::results() const {
                                processes_[i]->stats()});
   }
   return out;
+}
+
+FleetScenario::FleetScenario(cluster::ClusterConfig config)
+    : cluster_(config), scheduler_(cluster_) {}
+
+int FleetScenario::add_host(container::HostConfig host_config) {
+  host_config.tick = cluster_.config().tick;
+  return cluster_.add_host(host_config);
+}
+
+int FleetScenario::place_pod(const std::string& strategy,
+                             container::K8sResources resources,
+                             cluster::WorkloadFactory factory) {
+  cluster::PodSpec spec;
+  spec.resources = resources;
+  return scheduler_.place(strategy, std::move(spec), std::move(factory));
+}
+
+int FleetScenario::place_web_pod(const std::string& strategy,
+                                 container::K8sResources resources,
+                                 server::WebConfig web) {
+  const int pod = place_pod(strategy, resources, cluster::web_replica(web));
+  if (pod >= 0 && router_ != nullptr) {
+    router_->add_replica(pod);
+  }
+  return pod;
+}
+
+void FleetScenario::enable_router(double arrivals_per_sec) {
+  ARV_ASSERT_MSG(router_ == nullptr, "router already enabled");
+  cluster::RouterConfig config;
+  config.arrivals_per_sec = arrivals_per_sec;
+  router_ = std::make_unique<cluster::RequestRouter>(cluster_, config);
+  cluster_.add_component(router_.get());
+}
+
+void FleetScenario::enable_rebalancer(cluster::RebalanceConfig config) {
+  ARV_ASSERT_MSG(rebalancer_ == nullptr, "rebalancer already enabled");
+  rebalancer_ = std::make_unique<cluster::Rebalancer>(cluster_, config);
+  cluster_.add_component(rebalancer_.get());
 }
 
 HeapTimeline::HeapTimeline(container::Host& host, const jvm::Jvm& jvm,

@@ -10,9 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster.h"
+#include "src/cluster/rebalancer.h"
+#include "src/cluster/router.h"
+#include "src/cluster/scheduler.h"
 #include "src/container/container.h"
 #include "src/jvm/jvm.h"
 #include "src/omp/omp_runtime.h"
+#include "src/server/server_runtime.h"
 #include "src/workloads/hogs.h"
 
 namespace arv::harness {
@@ -116,6 +121,48 @@ class OmpScenario {
   std::unique_ptr<container::ContainerRuntime> runtime_;
   std::vector<container::Container*> containers_;
   std::vector<std::unique_ptr<omp::OmpProcess>> processes_;
+};
+
+/// Declarative multi-host fleet: hosts + placed pods + optional router and
+/// rebalancer, on one deterministic Cluster. The cluster-layer analogue of
+/// JvmScenario — build the fleet, run it, read the aggregate stats.
+class FleetScenario {
+ public:
+  explicit FleetScenario(cluster::ClusterConfig config = {});
+
+  /// Add one host; its tick is forced to the cluster tick. Returns the index.
+  int add_host(container::HostConfig host_config = {});
+
+  /// Place one pod through the named strategy ("requests", "effective", or
+  /// any registered name). Returns the pod id, or -1 when unschedulable.
+  int place_pod(const std::string& strategy, container::K8sResources resources,
+                cluster::WorkloadFactory factory = {});
+
+  /// Place a WorkerPoolServer replica pod and (when the router is enabled)
+  /// enroll it in the rotation. Returns the pod id, or -1.
+  int place_web_pod(const std::string& strategy,
+                    container::K8sResources resources,
+                    server::WebConfig web = {});
+
+  /// Route an open-loop stream at `arrivals_per_sec` across the web replicas
+  /// placed so far and later. Call before placing web pods.
+  void enable_router(double arrivals_per_sec);
+
+  /// Activate corrective migration. Call after every add_host().
+  void enable_rebalancer(cluster::RebalanceConfig config = {});
+
+  void run(SimDuration duration) { cluster_.run_for(duration); }
+
+  cluster::Cluster& cluster() { return cluster_; }
+  cluster::ClusterScheduler& scheduler() { return scheduler_; }
+  cluster::RequestRouter* router() { return router_.get(); }
+  cluster::Rebalancer* rebalancer() { return rebalancer_.get(); }
+
+ private:
+  cluster::Cluster cluster_;
+  cluster::ClusterScheduler scheduler_;
+  std::unique_ptr<cluster::RequestRouter> router_;
+  std::unique_ptr<cluster::Rebalancer> rebalancer_;
 };
 
 /// Samples one JVM's heap geometry every `interval` — Figure 12's series.

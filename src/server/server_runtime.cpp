@@ -32,6 +32,14 @@ double RequestStats::p95_ms() const {
   return percentile(latencies, 95.0) / 1000.0;
 }
 
+void RequestStats::merge(const RequestStats& other) {
+  completed += other.completed;
+  arrived += other.arrived;
+  latency_us.merge(other.latency_us);
+  latencies.insert(latencies.end(), other.latencies.begin(),
+                   other.latencies.end());
+}
+
 double RequestStats::throughput_per_sec(SimDuration elapsed) const {
   if (elapsed <= 0) {
     return 0;
@@ -49,7 +57,7 @@ WorkerPoolServer::WorkerPoolServer(container::Host& host,
       pid_(target.spawn_process("httpd")),
       config_(config),
       workers_(detect_workers()) {
-  ARV_ASSERT(config_.arrivals_per_sec > 0);
+  ARV_ASSERT(config_.arrivals_per_sec >= 0);  // 0 = router-driven arrivals
   ARV_ASSERT(config_.service_cpu > 0);
   worker_trace_.push_back(workers_);
   if (config_.resize_interval > 0) {
@@ -95,6 +103,16 @@ void WorkerPoolServer::admit_arrivals(SimTime now, SimDuration dt) {
     }
     queue_.push_back(now);
   }
+}
+
+bool WorkerPoolServer::inject_request(SimTime now) {
+  ++stats_.arrived;
+  if (queue_.size() >= config_.max_queue) {
+    ++dropped_;
+    return false;
+  }
+  queue_.push_back(now);
+  return true;
 }
 
 void WorkerPoolServer::consume(SimTime now, SimDuration dt, CpuTime grant) {

@@ -41,12 +41,18 @@ struct RequestStats {
 
   double p95_ms() const;
   double throughput_per_sec(SimDuration elapsed) const;
+
+  /// Fold another stats block into this one (cluster-level aggregation and
+  /// carrying a migrated replica's history forward).
+  void merge(const RequestStats& other);
 };
 
 struct WebConfig {
   Sizing sizing = Sizing::kDetected;
   int fixed_workers = 0;          ///< for kFixed
-  double arrivals_per_sec = 800;  ///< open-loop request rate
+  /// Open-loop request rate the server generates itself. 0 means arrivals
+  /// are externally driven (a cluster RequestRouter calling inject_request).
+  double arrivals_per_sec = 800;
   SimDuration service_cpu = 4 * units::msec;  ///< CPU per request
   double alpha = 0.01;  ///< per-worker coordination overhead
   double beta = 0.08;   ///< oversubscription penalty
@@ -67,6 +73,10 @@ class WorkerPoolServer : public sched::Schedulable {
   // --- sched::Schedulable ---------------------------------------------------
   int runnable_threads() const override;
   void consume(SimTime now, SimDuration dt, CpuTime grant) override;
+
+  /// Externally-driven arrival (request routing): enqueue one request that
+  /// arrived `now`. Honors the accept-queue bound; false when dropped.
+  bool inject_request(SimTime now);
 
   int workers() const { return workers_; }
   std::size_t queue_depth() const { return queue_.size(); }

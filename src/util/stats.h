@@ -13,6 +13,10 @@ class RunningStats {
   void add(double x);
   void reset();
 
+  /// Fold another accumulator into this one (parallel/partitioned streams,
+  /// e.g. per-replica request stats aggregated cluster-wide).
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ > 0 ? mean_ : 0.0; }
   double variance() const;  ///< Sample variance; 0 when n < 2.

@@ -1,0 +1,116 @@
+// Rebalancer: a skewed fleet triggers at least one corrective migration, the
+// hysteresis keeps the count bounded, and a balanced fleet is left alone.
+#include "src/cluster/rebalancer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/pod_workloads.h"
+
+namespace arv::cluster {
+namespace {
+
+using namespace arv::units;
+
+container::K8sResources res(std::int64_t millicpu, Bytes memory) {
+  container::K8sResources r;
+  r.request_millicpu = millicpu;
+  r.request_memory = memory;
+  return r;
+}
+
+container::HostConfig small_host(int cpus, Bytes ram) {
+  container::HostConfig config;
+  config.cpus = cpus;
+  config.ram = ram;
+  return config;
+}
+
+RebalanceConfig fast_rebalance() {
+  RebalanceConfig config;
+  config.period = 100 * msec;
+  config.saturated_rounds = 3;
+  config.cooldown = 1 * sec;
+  config.min_residency = 500 * msec;
+  return config;
+}
+
+TEST(Rebalancer, MigratesOffASaturatedHostBoundedly) {
+  // Host 0: two hog pods that together oversubscribe its 2 CPUs forever.
+  // Host 1: idle. The rebalancer must move exactly one of them across —
+  // at least one migration, and no thrash (both hosts then have work).
+  Cluster cluster;
+  cluster.add_host(small_host(2, 8 * GiB));
+  cluster.add_host(small_host(2, 8 * GiB));
+  PodSpec a;
+  a.resources = res(500, 512 * MiB);
+  cluster.create_pod(0, a, cpu_hog_workload(2, 10000 * sec));
+  PodSpec b;
+  b.resources = res(500, 512 * MiB);
+  cluster.create_pod(0, b, cpu_hog_workload(2, 10000 * sec));
+
+  Rebalancer rebalancer(cluster, fast_rebalance());
+  cluster.add_component(&rebalancer);
+  cluster.run_for(10 * sec);
+
+  EXPECT_GE(rebalancer.migrations(), 1u);
+  EXPECT_LE(rebalancer.migrations(), 3u) << "rebalancer is oscillating";
+  EXPECT_EQ(cluster.pods_on(0), 1);
+  EXPECT_EQ(cluster.pods_on(1), 1);
+}
+
+TEST(Rebalancer, LeavesABalancedFleetAlone) {
+  Cluster cluster;
+  cluster.add_host(small_host(4, 8 * GiB));
+  cluster.add_host(small_host(4, 8 * GiB));
+  // One light pod per host: plenty of slack everywhere.
+  PodSpec a;
+  a.resources = res(500, 512 * MiB);
+  cluster.create_pod(0, a, cpu_hog_workload(1, 10000 * sec));
+  PodSpec b;
+  b.resources = res(500, 512 * MiB);
+  cluster.create_pod(1, b, cpu_hog_workload(1, 10000 * sec));
+
+  Rebalancer rebalancer(cluster, fast_rebalance());
+  cluster.add_component(&rebalancer);
+  cluster.run_for(10 * sec);
+  EXPECT_EQ(rebalancer.migrations(), 0u);
+}
+
+TEST(Rebalancer, HoldsWhenNoTargetHasHeadroom) {
+  // Both hosts saturated: migrating would only shuffle pain around, so the
+  // rebalancer must do nothing.
+  Cluster cluster;
+  cluster.add_host(small_host(2, 8 * GiB));
+  cluster.add_host(small_host(2, 8 * GiB));
+  for (int host = 0; host < 2; ++host) {
+    PodSpec spec;
+    spec.resources = res(500, 512 * MiB);
+    cluster.create_pod(host, spec, cpu_hog_workload(4, 10000 * sec));
+  }
+  Rebalancer rebalancer(cluster, fast_rebalance());
+  cluster.add_component(&rebalancer);
+  cluster.run_for(5 * sec);
+  EXPECT_EQ(rebalancer.migrations(), 0u);
+  EXPECT_GE(rebalancer.saturated_rounds(0), 3);  // it *did* see the pressure
+}
+
+TEST(Rebalancer, RespectsMinResidency) {
+  // Saturated host, idle target, but a residency floor longer than the run:
+  // the victim is too young to move.
+  Cluster cluster;
+  cluster.add_host(small_host(2, 8 * GiB));
+  cluster.add_host(small_host(2, 8 * GiB));
+  PodSpec spec;
+  spec.resources = res(500, 512 * MiB);
+  cluster.create_pod(0, spec, cpu_hog_workload(4, 10000 * sec));
+  RebalanceConfig config = fast_rebalance();
+  config.min_residency = 3600 * sec;
+  Rebalancer rebalancer(cluster, config);
+  cluster.add_component(&rebalancer);
+  cluster.run_for(5 * sec);
+  EXPECT_EQ(rebalancer.migrations(), 0u);
+}
+
+}  // namespace
+}  // namespace arv::cluster

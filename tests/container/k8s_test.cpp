@@ -82,26 +82,131 @@ TEST(K8sQos, Classes) {
   EXPECT_EQ(qos_class(requests_only), QosClass::kBurstable);
 }
 
+TEST(K8sQos, GuaranteedRequiresLimitsOnBothResources) {
+  // CPU-only limits cannot be Guaranteed: the memory limit is missing.
+  K8sResources cpu_only;
+  cpu_only.limit_millicpu = 1000;
+  cpu_only.request_millicpu = 1000;
+  EXPECT_EQ(qos_class(cpu_only), QosClass::kBurstable);
+  K8sResources mem_only;
+  mem_only.limit_memory = 1 * GiB;
+  EXPECT_EQ(qos_class(mem_only), QosClass::kBurstable);
+}
+
+TEST(K8sQos, GuaranteedWithRequestsDefaultedFromLimits) {
+  // Kubernetes defaults unset requests to the limits, so limits-only pods
+  // are Guaranteed even though no request was written.
+  K8sResources limits_only;
+  limits_only.limit_millicpu = 2000;
+  limits_only.limit_memory = 4 * GiB;
+  EXPECT_EQ(qos_class(limits_only), QosClass::kGuaranteed);
+}
+
+TEST(K8sQos, RequestBelowLimitOnEitherResourceIsBurstable) {
+  K8sResources cpu_gap;
+  cpu_gap.request_millicpu = 500;
+  cpu_gap.limit_millicpu = 1000;
+  cpu_gap.request_memory = 1 * GiB;
+  cpu_gap.limit_memory = 1 * GiB;
+  EXPECT_EQ(qos_class(cpu_gap), QosClass::kBurstable);
+  K8sResources mem_gap;
+  mem_gap.request_millicpu = 1000;
+  mem_gap.limit_millicpu = 1000;
+  mem_gap.request_memory = 1 * GiB;
+  mem_gap.limit_memory = 2 * GiB;
+  EXPECT_EQ(qos_class(mem_gap), QosClass::kBurstable);
+}
+
+struct QuantityCase {
+  const char* text;
+  std::int64_t expect;
+};
+
 TEST(K8sQuantities, CpuParsing) {
-  EXPECT_EQ(parse_cpu_quantity("500m"), 500);
-  EXPECT_EQ(parse_cpu_quantity("2"), 2000);
-  EXPECT_EQ(parse_cpu_quantity("0.5"), 500);
-  EXPECT_EQ(parse_cpu_quantity("1.25"), 1250);
-  EXPECT_EQ(parse_cpu_quantity(""), -1);
-  EXPECT_EQ(parse_cpu_quantity("abc"), -1);
-  EXPECT_EQ(parse_cpu_quantity("-1"), -1);
+  const QuantityCase kCases[] = {
+      // Milli form and plain/fractional cores.
+      {"500m", 500},
+      {"250m", 250},
+      {"0m", 0},
+      {"2", 2000},
+      {"0.5", 500},
+      {"1.25", 1250},
+      {"0.1", 100},
+      // Decimal-exponent forms (valid Kubernetes quantities).
+      {"1e2", 100000},
+      {"2E1", 20000},
+      {"5e-1", 500},
+      // Malformed.
+      {"", -1},
+      {"abc", -1},
+      {"-1", -1},
+      {"-500m", -1},
+      {"1..5", -1},
+      {".", -1},
+      {"1 ", -1},
+      {" 1", -1},
+      {"+1", -1},
+      {"0x10", -1},
+      {"inf", -1},
+      {"nan", -1},
+      {"2u", -1},
+      {"1e", -1},
+      // Overflow: must reject, never wrap negative.
+      {"9223372036854775808", -1},
+      {"1e300", -1},
+  };
+  for (const QuantityCase& c : kCases) {
+    EXPECT_EQ(parse_cpu_quantity(c.text), c.expect) << "input: \"" << c.text
+                                                    << "\"";
+  }
 }
 
 TEST(K8sQuantities, MemoryParsing) {
-  EXPECT_EQ(parse_memory_quantity("512Mi"), 512 * MiB);
-  EXPECT_EQ(parse_memory_quantity("4Gi"), 4 * GiB);
-  EXPECT_EQ(parse_memory_quantity("1Ki"), 1024);
-  EXPECT_EQ(parse_memory_quantity("1G"), 1000000000);
-  EXPECT_EQ(parse_memory_quantity("128"), 128);
-  EXPECT_EQ(parse_memory_quantity("1.5Gi"), 1536 * MiB);
-  EXPECT_EQ(parse_memory_quantity("Mi"), -1);
-  EXPECT_EQ(parse_memory_quantity("5Xi"), -1);
-  EXPECT_EQ(parse_memory_quantity(""), -1);
+  const QuantityCase kCases[] = {
+      // Binary suffixes — the full Kubernetes set.
+      {"1Ki", 1024},
+      {"512Mi", 512 * MiB},
+      {"4Gi", 4 * GiB},
+      {"1.5Gi", 1536 * MiB},
+      {"2Ti", 2LL * 1024 * GiB},
+      {"1Pi", 1LL << 50},
+      {"1Ei", 1LL << 60},
+      // Decimal suffixes.
+      {"1k", 1000},
+      {"1K", 1000},
+      {"5M", 5000000},
+      {"1G", 1000000000},
+      {"2T", 2000000000000LL},
+      {"3P", 3000000000000000LL},
+      {"1E", 1000000000000000000LL},
+      // Plain bytes and exponent forms.
+      {"128", 128},
+      {"128974848e0", 128974848},
+      {"1e9", 1000000000},
+      {"1.5e3", 1500},
+      {"12E6", 12000000},
+      // Malformed.
+      {"", -1},
+      {"Mi", -1},
+      {"5Xi", -1},
+      {"1..5Gi", -1},
+      {"-1Gi", -1},
+      {"1e3Gi", -1},  // exponent and suffix cannot combine
+      {"1 Gi", -1},
+      {"1Gi ", -1},
+      {"inf", -1},
+      {"1e", -1},  // no exponent digits, and "e" is not a suffix
+      // Overflow: must reject, never wrap negative.
+      {"8Ei", -1},    // exactly 2^63
+      {"16E", -1},
+      {"9223372036854775808", -1},
+      {"1e300", -1},
+      {"10000000P", -1},
+  };
+  for (const QuantityCase& c : kCases) {
+    EXPECT_EQ(parse_memory_quantity(c.text), c.expect) << "input: \"" << c.text
+                                                       << "\"";
+  }
 }
 
 TEST(K8sMappingDeath, RequestAboveLimitRejected) {
