@@ -25,6 +25,22 @@ Cluster::Cluster(ClusterConfig config) : config_(config), rng_(config.seed) {
       }
       return running;
     });
+    trace_->add_counter("cluster.faults", "", [this] {
+      return static_cast<std::int64_t>(pod_crashes_ + host_crashes_);
+    });
+    trace_->add_counter("cluster.failovers", "", [this] {
+      return static_cast<std::int64_t>(failovers_);
+    });
+    trace_->add_counter("pod.restarts", "", [this] {
+      return static_cast<std::int64_t>(restarts_);
+    });
+    trace_->add_gauge("cluster.hosts_up", "", [this] {
+      std::int64_t up = 0;
+      for (const HostState& state : hosts_) {
+        up += state.up ? 1 : 0;
+      }
+      return up;
+    });
   }
 }
 
@@ -59,6 +75,9 @@ void Cluster::register_host_trace(int index) {
                     [this, index] { return hosts_[static_cast<std::size_t>(index)].pods; });
   trace_->add_counter("slack_total", scope, [this, index] {
     return hosts_[static_cast<std::size_t>(index)].host->scheduler().total_slack();
+  });
+  trace_->add_gauge("up", scope, [this, index] {
+    return hosts_[static_cast<std::size_t>(index)].up ? 1 : 0;
   });
 }
 
@@ -113,6 +132,7 @@ void Cluster::observe_slack() {
 
 int Cluster::create_pod(int host_index, PodSpec spec, WorkloadFactory factory) {
   ARV_ASSERT(host_index >= 0 && host_index < host_count());
+  ARV_ASSERT_MSG(host_up(host_index), "cannot create a pod on a down host");
   if (spec.name.empty()) {
     spec.name = "pod-" + std::to_string(pods_.size());
   }
@@ -132,6 +152,7 @@ int Cluster::create_pod(int host_index, PodSpec spec, WorkloadFactory factory) {
 
 void Cluster::land_pod(Pod& pod) {
   HostState& state = hosts_[static_cast<std::size_t>(pod.host)];
+  ARV_ASSERT_MSG(state.up, "cannot land a pod on a down host");
   pod.container = &state.runtime->run(container::pod_container(
       pod.spec.name, pod.spec.resources, pod.spec.enable_view));
   if (pod.factory) {
@@ -146,21 +167,37 @@ void Cluster::harvest_stats(Pod& pod) {
   }
   if (server::WorkerPoolServer* sink = pod.workload->request_sink()) {
     pod.archived.merge(sink->stats());
+    // Requests accepted but still queued die with the sink: teardown
+    // (migration freeze, stop, crash) drops the accept queue.
+    pod.lost += sink->queue_depth();
   }
 }
 
 void Cluster::stop_pod(int pod_id) {
   Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
-  ARV_ASSERT_MSG(pod.running(), "pod is not running");
-  harvest_stats(pod);
-  pod.workload.reset();  // detaches from the source scheduler
-  pod.container->stop();
-  pod.container = nullptr;
+  ARV_ASSERT_MSG(pod.host >= 0, "pod is already stopped");
+  if (pod.running()) {
+    harvest_stats(pod);
+    pod.workload.reset();  // detaches from the source scheduler
+    pod.container->stop();
+    pod.container = nullptr;
+  } else if (pod.in_flight()) {
+    // The flight was already harvested and torn down at departure; cancel
+    // the landing so the target never materializes a stopped pod, and fall
+    // through to release the reservation the migration took on the target.
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [&pod](const PendingMigration& flight) {
+                                    return flight.pod == pod.id;
+                                  }),
+                   pending_.end());
+  }
+  // Failed pods only need their ledger slot released.
   HostState& state = hosts_[static_cast<std::size_t>(pod.host)];
   state.requested_millicpu -= pod.spec.resources.request_millicpu;
   state.requested_memory -= pod.spec.resources.request_memory;
   --state.pods;
   pod.host = -1;
+  pod.failed = false;
 }
 
 void Cluster::migrate_pod(int pod_id, int target_host) {
@@ -168,6 +205,7 @@ void Cluster::migrate_pod(int pod_id, int target_host) {
   ARV_ASSERT(target_host >= 0 && target_host < host_count());
   ARV_ASSERT_MSG(pod.running(), "cannot migrate a stopped or in-flight pod");
   ARV_ASSERT_MSG(pod.host != target_host, "pod is already on the target host");
+  ARV_ASSERT_MSG(host_up(target_host), "cannot migrate toward a down host");
   HostState& source = hosts_[static_cast<std::size_t>(pod.host)];
   // Cost model: freeze grows with the state that must move. Read before the
   // container (and its memory charges) is torn down.
@@ -219,6 +257,96 @@ void Cluster::settle_migrations() {
   }
 }
 
+void Cluster::fail_pod(Pod& pod) {
+  harvest_stats(pod);
+  pod.workload.reset();
+  if (pod.container != nullptr) {
+    pod.container->stop();
+    pod.container = nullptr;
+  }
+  pod.failed = true;
+  pod.crashed_at = now_;
+}
+
+void Cluster::crash_host(int host_index) {
+  ARV_ASSERT(host_index >= 0 && host_index < host_count());
+  HostState& state = hosts_[static_cast<std::size_t>(host_index)];
+  ARV_ASSERT_MSG(state.up, "host is already down");
+  state.up = false;
+  ++host_crashes_;
+  for (Pod& pod : pods_) {
+    if (pod.host != host_index) {
+      continue;
+    }
+    if (pod.running()) {
+      fail_pod(pod);
+    } else if (pod.in_flight()) {
+      // A flight toward a crashing host is lost mid-copy: the source side
+      // already tore the replica down, so the pod just fails in place on
+      // the (down) target and waits for failover like the rest.
+      pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                    [&pod](const PendingMigration& flight) {
+                                      return flight.pod == pod.id;
+                                    }),
+                     pending_.end());
+      pod.failed = true;
+      pod.crashed_at = now_;
+    }
+  }
+  ARV_LOG(kWarn, "cluster", "host h%d crashed (%d pods lost)", host_index,
+          state.pods);
+}
+
+void Cluster::reboot_host(int host_index) {
+  ARV_ASSERT(host_index >= 0 && host_index < host_count());
+  HostState& state = hosts_[static_cast<std::size_t>(host_index)];
+  ARV_ASSERT_MSG(!state.up, "host is not down");
+  state.up = true;
+  // Fresh boot: injected host-memory pressure does not survive a reboot.
+  state.host->memory().reserve_host_memory(0);
+  ARV_LOG(kInfo, "cluster", "host h%d rebooted", host_index);
+}
+
+void Cluster::crash_pod(int pod_id) {
+  Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
+  ARV_ASSERT_MSG(pod.running(), "cannot crash a pod that is not running");
+  fail_pod(pod);
+  ++pod_crashes_;
+  ARV_LOG(kInfo, "cluster", "pod %d crashed on h%d", pod.id, pod.host);
+}
+
+void Cluster::restart_pod(int pod_id) {
+  Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
+  ARV_ASSERT_MSG(pod.failed && pod.host >= 0, "pod is not awaiting restart");
+  ARV_ASSERT_MSG(host_up(pod.host), "cannot restart a pod on a down host");
+  pod.failed = false;
+  ++pod.restarts;
+  ++restarts_;
+  land_pod(pod);
+}
+
+void Cluster::failover_pod(int pod_id, int target_host) {
+  Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
+  ARV_ASSERT(target_host >= 0 && target_host < host_count());
+  ARV_ASSERT_MSG(pod.failed && pod.host >= 0, "pod is not awaiting failover");
+  ARV_ASSERT_MSG(host_up(target_host), "cannot fail over to a down host");
+  ARV_ASSERT_MSG(pod.host != target_host, "failover target is the pod's host");
+  HostState& source = hosts_[static_cast<std::size_t>(pod.host)];
+  source.requested_millicpu -= pod.spec.resources.request_millicpu;
+  source.requested_memory -= pod.spec.resources.request_memory;
+  --source.pods;
+  HostState& target = hosts_[static_cast<std::size_t>(target_host)];
+  target.requested_millicpu += pod.spec.resources.request_millicpu;
+  target.requested_memory += pod.spec.resources.request_memory;
+  ++target.pods;
+  pod.host = target_host;
+  pod.failed = false;
+  ++pod.failovers;
+  ++failovers_;
+  land_pod(pod);
+  ARV_LOG(kInfo, "cluster", "pod %d failed over -> h%d", pod.id, target_host);
+}
+
 void Cluster::dispatch_components() {
   for (Dispatch& dispatch : components_) {
     if (dispatch.next > now_) {
@@ -246,6 +374,7 @@ HostView Cluster::host_view(int index) const {
   // milli-CPUs (1000 = one core fully idle across the window).
   view.slack_millicpu = state.window_slack * 1000 / config_.observe_window;
   view.free_memory = snap.free_memory;
+  view.up = state.up;
   return view;
 }
 

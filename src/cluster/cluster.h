@@ -72,7 +72,8 @@ struct ClusterConfig {
 };
 
 /// One scheduled pod. The container pointer is null while the pod is in
-/// flight between hosts (migration freeze) or after stop_pod.
+/// flight between hosts (migration freeze), after stop_pod, or after a
+/// crash (failed == true, awaiting restart-in-place or failover).
 struct Pod {
   int id = -1;
   PodSpec spec;
@@ -85,9 +86,19 @@ struct Pod {
   /// Request stats harvested from sinks that migration (or stop) destroyed,
   /// so fleet-level throughput/latency survive replica churn.
   server::RequestStats archived;
+  /// The pod's process (or host) crashed; its host-ledger slot is retained
+  /// until a RestartManager re-lands it in place or a FailureDetector fails
+  /// it over to another host.
+  bool failed = false;
+  int restarts = 0;    ///< restart-in-place count (CrashLoopBackOff counter)
+  int failovers = 0;   ///< crashes recovered by re-placement on another host
+  SimTime crashed_at = 0;  ///< when the pod last crashed
+  /// Requests that were queued (accepted, not yet completed) in a sink when
+  /// its teardown — migration, stop, or crash — destroyed them.
+  std::uint64_t lost = 0;
 
   bool running() const { return container != nullptr; }
-  bool in_flight() const { return container == nullptr && host >= 0; }
+  bool in_flight() const { return container == nullptr && host >= 0 && !failed; }
 };
 
 class Cluster {
@@ -124,7 +135,9 @@ class Cluster {
   int create_pod(int host_index, PodSpec spec, WorkloadFactory factory = {});
 
   /// Stop the pod's container and destroy its workload. Request stats are
-  /// harvested into pod.archived first.
+  /// harvested into pod.archived first. Also handles in-flight and failed
+  /// pods: an in-flight stop cancels the pending landing and releases the
+  /// target host's reservation (stats were already harvested at departure).
   void stop_pod(int pod_id);
 
   /// Stop-and-recreate migration toward `target_host`. The pod is gone from
@@ -138,6 +151,41 @@ class Cluster {
   int pod_count() const { return static_cast<int>(pods_.size()); }
   int pods_on(int host_index) const { return hosts_.at(static_cast<std::size_t>(host_index)).pods; }
   std::uint64_t migrations() const { return migrations_; }
+
+  // --- faults and recovery --------------------------------------------------
+  /// Kill every pod on the host (their processes die; stats are harvested
+  /// out-of-band, queued requests are lost) and mark the host down. Pods
+  /// stay assigned to the host ledger as failed, awaiting restart-in-place
+  /// (if the host reboots) or failover (FailureDetector). Migrations in
+  /// flight *to* the host are lost the same way. The host's engine keeps
+  /// ticking (empty) so the fleet stays in lockstep.
+  void crash_host(int host_index);
+
+  /// Bring a crashed host back as an empty machine (fresh boot: any
+  /// host-memory reservation from pressure injection is cleared).
+  void reboot_host(int host_index);
+
+  bool host_up(int host_index) const {
+    return hosts_.at(static_cast<std::size_t>(host_index)).up;
+  }
+
+  /// Kill one running pod's process (the host stays up). The pod keeps its
+  /// ledger slot on the host so a RestartManager can re-land it in place.
+  void crash_pod(int pod_id);
+
+  /// Re-create a failed pod's container + workload on its current host
+  /// (restart-in-place; the host must be up). Increments pod.restarts.
+  void restart_pod(int pod_id);
+
+  /// Re-place a failed pod on `target_host` (which must be up) and land it
+  /// immediately — the crashed replica has no state to copy, only a cold
+  /// start. Moves the ledger slot and increments pod.failovers.
+  void failover_pod(int pod_id, int target_host);
+
+  std::uint64_t pod_crashes() const { return pod_crashes_; }
+  std::uint64_t host_crashes() const { return host_crashes_; }
+  std::uint64_t restarts() const { return restarts_; }
+  std::uint64_t failovers() const { return failovers_; }
 
   // --- observed state ------------------------------------------------------
   /// The strategy-facing view of one host: declared request sums from the
@@ -167,6 +215,9 @@ class Cluster {
     std::int64_t requested_millicpu = 0;
     Bytes requested_memory = 0;
     int pods = 0;
+    /// False between crash_host and reboot_host. A down host accepts no
+    /// pods; its engine still ticks (empty) to keep the fleet in lockstep.
+    bool up = true;
     // Slack observation window (integer accumulation; see window_slack()).
     CpuTime window_slack = 0;
     CpuTime accum_slack = 0;
@@ -188,6 +239,7 @@ class Cluster {
   void dispatch_components();
   void land_pod(Pod& pod);
   void harvest_stats(Pod& pod);
+  void fail_pod(Pod& pod);
   void register_host_trace(int index);
 
   ClusterConfig config_;
@@ -200,6 +252,10 @@ class Cluster {
   std::uint64_t next_migration_seq_ = 0;
   std::vector<Dispatch> components_;
   std::uint64_t migrations_ = 0;
+  std::uint64_t pod_crashes_ = 0;
+  std::uint64_t host_crashes_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t failovers_ = 0;
   std::unique_ptr<obs::TraceRecorder> trace_;  ///< null when tracing is off
 };
 

@@ -48,6 +48,9 @@ class RequestsStrategy final : public PlacementStrategy {
     std::vector<std::int64_t> scores(hosts.size(), -1);
     for (std::size_t i = 0; i < hosts.size(); ++i) {
       const HostView& h = hosts[i];
+      if (!h.up) {
+        continue;  // crashed hosts schedule nothing
+      }
       const std::int64_t cpu_after = h.requested_millicpu + r.request_millicpu;
       const Bytes mem_after = h.requested_memory + r.request_memory;
       if (cpu_after > h.capacity_millicpu || mem_after > h.capacity_memory) {
@@ -81,6 +84,9 @@ class EffectiveStrategy final : public PlacementStrategy {
     std::vector<std::int64_t> scores(hosts.size(), -1);
     for (std::size_t i = 0; i < hosts.size(); ++i) {
       const HostView& h = hosts[i];
+      if (!h.up) {
+        continue;  // crashed hosts schedule nothing
+      }
       if (h.slack_millicpu < kMinSlackMillicpu) {
         continue;  // observed saturated: placing here only adds interference
       }

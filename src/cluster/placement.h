@@ -56,6 +56,9 @@ struct HostView {
   /// whole core sat unused). A fresh, never-observed host reports full idle.
   std::int64_t slack_millicpu = 0;
   Bytes free_memory = 0;
+  /// False while the host is crashed (fault injection). Down hosts are
+  /// infeasible for every strategy, whatever their other signals say.
+  bool up = true;
 };
 
 class PlacementStrategy {

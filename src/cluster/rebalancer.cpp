@@ -65,7 +65,8 @@ void Rebalancer::tick(SimTime now, SimDuration dt) {
   //    hottest eligible pod to the roomiest feasible target.
   for (int source = 0; source < cluster_.host_count(); ++source) {
     HostTrack& track = track_[static_cast<std::size_t>(source)];
-    if (track.saturated_rounds < config_.saturated_rounds ||
+    if (!cluster_.host_up(source) ||
+        track.saturated_rounds < config_.saturated_rounds ||
         now < track.cooldown_until || cluster_.pods_on(source) == 0) {
       continue;
     }
@@ -99,7 +100,8 @@ void Rebalancer::tick(SimTime now, SimDuration dt) {
     int target = -1;
     std::int64_t target_score = -1;
     for (int i = 0; i < cluster_.host_count(); ++i) {
-      if (i == source || now < track_[static_cast<std::size_t>(i)].cooldown_until) {
+      if (i == source || !cluster_.host_up(i) ||
+          now < track_[static_cast<std::size_t>(i)].cooldown_until) {
         continue;
       }
       const HostView view = cluster_.host_view(i);

@@ -1,5 +1,8 @@
 #include "src/cluster/router.h"
 
+#include <algorithm>
+
+#include "src/obs/trace_recorder.h"
 #include "src/server/server_runtime.h"
 #include "src/util/assert.h"
 
@@ -8,18 +11,164 @@ namespace arv::cluster {
 RequestRouter::RequestRouter(Cluster& cluster, RouterConfig config)
     : cluster_(cluster), config_(config) {
   ARV_ASSERT(config_.arrivals_per_sec >= 0);
+  ARV_ASSERT(config_.max_retries >= 0);
+  ARV_ASSERT(config_.breaker_threshold >= 1);
+  ARV_ASSERT(config_.breaker_open > 0);
+  if (obs::TraceRecorder* trace = cluster_.trace()) {
+    trace->add_counter("router.generated", "", [this] {
+      return static_cast<std::int64_t>(generated_);
+    });
+    trace->add_counter("router.routed", "", [this] {
+      return static_cast<std::int64_t>(routed_);
+    });
+    trace->add_counter("router.unroutable", "", [this] {
+      return static_cast<std::int64_t>(unroutable_);
+    });
+    trace->add_counter("router.dropped", "", [this] {
+      return static_cast<std::int64_t>(dropped_);
+    });
+    trace->add_counter("router.shed", "",
+                       [this] { return static_cast<std::int64_t>(shed_); });
+    trace->add_counter("router.retries", "", [this] {
+      return static_cast<std::int64_t>(retries_);
+    });
+    trace->add_counter("router.breaker_trips", "", [this] {
+      return static_cast<std::int64_t>(breaker_trips_);
+    });
+    trace->add_gauge("router.open_breakers", "",
+                     [this] { return open_breakers(); });
+  }
 }
 
-void RequestRouter::add_replica(int pod_id) {
+bool RequestRouter::add_replica(int pod_id) {
   server::WorkerPoolServer* s = sink(pod_id);
   ARV_ASSERT_MSG(s != nullptr || cluster_.pod(pod_id).in_flight(),
                  "replica pod has no request sink");
-  replicas_.push_back(pod_id);
+  const bool duplicate =
+      std::any_of(replicas_.begin(), replicas_.end(),
+                  [pod_id](const Replica& r) { return r.pod == pod_id; });
+  if (duplicate) {
+    return false;  // already in rotation; double arrivals would corrupt JSQ
+  }
+  Replica replica;
+  replica.pod = pod_id;
+  replicas_.push_back(replica);
+  return true;
 }
 
 server::WorkerPoolServer* RequestRouter::sink(int pod_id) const {
-  const Pod& pod = cluster_.pod(pod_id);
+  Pod& pod = cluster_.pod(pod_id);
   return pod.workload == nullptr ? nullptr : pod.workload->request_sink();
+}
+
+BreakerState RequestRouter::breaker(int pod_id) const {
+  for (const Replica& replica : replicas_) {
+    if (replica.pod == pod_id) {
+      return replica.state;
+    }
+  }
+  ARV_ASSERT_MSG(false, "pod is not a replica of this router");
+  return BreakerState::kClosed;
+}
+
+int RequestRouter::open_breakers() const {
+  int open = 0;
+  for (const Replica& replica : replicas_) {
+    open += replica.state == BreakerState::kOpen ? 1 : 0;
+  }
+  return open;
+}
+
+bool RequestRouter::admits(Replica& replica, SimTime now) {
+  switch (replica.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now >= replica.open_until) {
+        replica.state = BreakerState::kHalfOpen;  // one probe goes through
+        return true;
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      // Injection resolves synchronously, so a half-open replica has no
+      // probe outstanding: the next request is (another) probe.
+      return true;
+  }
+  return false;
+}
+
+void RequestRouter::record_success(Replica& replica) {
+  replica.consecutive_failures = 0;
+  if (replica.state != BreakerState::kClosed) {
+    replica.state = BreakerState::kClosed;
+    ++breaker_closes_;
+  }
+}
+
+void RequestRouter::record_failure(Replica& replica, SimTime now) {
+  ++replica.consecutive_failures;
+  const bool reopen = replica.state == BreakerState::kHalfOpen;
+  const bool trip = replica.state == BreakerState::kClosed &&
+                    replica.consecutive_failures >= config_.breaker_threshold;
+  if (reopen || trip) {
+    replica.state = BreakerState::kOpen;
+    replica.open_until = now + config_.breaker_open;
+    ++breaker_trips_;
+  }
+}
+
+void RequestRouter::route_one(SimTime now) {
+  ++generated_;
+  // Live = the sink exists right now (not stopped, crashed, or frozen
+  // mid-migration); admitted = live and its breaker lets this attempt pass.
+  bool any_live = false;
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (sink(replicas_[i].pod) == nullptr) {
+      continue;
+    }
+    any_live = true;
+    if (admits(replicas_[i], now)) {
+      candidates.push_back(i);
+    }
+  }
+  if (!any_live) {
+    ++unroutable_;  // the fleet has no replica at all
+    return;
+  }
+  if (candidates.empty()) {
+    ++shed_;  // replicas exist but every breaker is open: protect them
+    return;
+  }
+  // Bounded retry: attempt the JSQ-best candidate, then the next-best on a
+  // refused injection, never re-trying a replica within one request.
+  const int max_attempts = 1 + config_.max_retries;
+  for (int attempt = 0; attempt < max_attempts && !candidates.empty();
+       ++attempt) {
+    std::size_t best_pos = 0;
+    std::size_t best_depth = 0;
+    for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+      const std::size_t depth = sink(replicas_[candidates[pos]].pod)->queue_depth();
+      if (pos == 0 || depth < best_depth) {
+        best_pos = pos;
+        best_depth = depth;
+      }
+    }
+    Replica& replica = replicas_[candidates[best_pos]];
+    ++attempts_;
+    if (attempt > 0) {
+      ++retries_;
+    }
+    if (sink(replica.pod)->inject_request(now)) {
+      record_success(replica);
+      ++routed_;
+      return;
+    }
+    record_failure(replica, now);
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(best_pos));
+  }
+  ++dropped_;  // every allowed attempt was refused
 }
 
 void RequestRouter::tick(SimTime now, SimDuration dt) {
@@ -27,41 +176,29 @@ void RequestRouter::tick(SimTime now, SimDuration dt) {
                   static_cast<double>(units::sec);
   while (accumulator_ >= 1.0) {
     accumulator_ -= 1.0;
-    // Join-shortest-queue over the replicas that are up right now; ties go
-    // to the earliest-added replica.
-    server::WorkerPoolServer* best = nullptr;
-    std::size_t best_depth = 0;
-    for (const int pod_id : replicas_) {
-      server::WorkerPoolServer* s = sink(pod_id);
-      if (s == nullptr) {
-        continue;  // stopped, or frozen mid-migration
-      }
-      if (best == nullptr || s->queue_depth() < best_depth) {
-        best = s;
-        best_depth = s->queue_depth();
-      }
-    }
-    if (best == nullptr) {
-      ++unroutable_;
-      continue;
-    }
-    if (best->inject_request(now)) {
-      ++routed_;
-    } else {
-      ++dropped_;
-    }
+    route_one(now);
   }
 }
 
 server::RequestStats RequestRouter::aggregate() const {
   server::RequestStats total;
-  for (const int pod_id : replicas_) {
-    total.merge(cluster_.pod(pod_id).archived);
-    if (const server::WorkerPoolServer* s = sink(pod_id)) {
+  for (const Replica& replica : replicas_) {
+    total.merge(cluster_.pod(replica.pod).archived);
+    if (const server::WorkerPoolServer* s = sink(replica.pod)) {
       total.merge(s->stats());
     }
   }
   return total;
+}
+
+std::uint64_t RequestRouter::queued() const {
+  std::uint64_t depth = 0;
+  for (const Replica& replica : replicas_) {
+    if (const server::WorkerPoolServer* s = sink(replica.pod)) {
+      depth += s->queue_depth();
+    }
+  }
+  return depth;
 }
 
 }  // namespace arv::cluster

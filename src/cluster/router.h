@@ -3,7 +3,7 @@
 // Generates an open-loop request stream (like the per-server generators in
 // server_runtime, but cluster-wide) and routes each request to one replica's
 // WorkerPoolServer via inject_request. The balancing rule is
-// join-shortest-queue over the replicas that are currently running; ties go
+// join-shortest-queue over the replicas that are currently admitting; ties go
 // to the lowest replica index, so routing consumes no randomness and cannot
 // perturb placement's rng stream.
 //
@@ -12,6 +12,17 @@
 // and its request history survives in Pod::archived. A request that arrives
 // while *no* replica is up counts as unroutable (the fleet-level error the
 // paper's per-host metrics cannot see).
+//
+// Failure handling (see docs/FAULTS.md): a refused injection (accept-queue
+// overflow) is retried on the next-best replica, up to `max_retries` extra
+// attempts per request. Each replica carries a circuit breaker —
+// closed → open after `breaker_threshold` consecutive refusals, open →
+// half-open after `breaker_open` elapses (one probe request), half-open →
+// closed on a served probe or back to open on a refused one. When replicas
+// exist but every one is dead-or-open, the request is *shed* at the front
+// door, so "the fleet has no replicas" (unroutable) and "the fleet is
+// protecting itself" (shed) stay distinguishable. Every decision is
+// counter-driven: routing consumes no randomness even under faults.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +36,18 @@ namespace arv::cluster {
 struct RouterConfig {
   /// Open-loop arrival rate across the whole fleet.
   double arrivals_per_sec = 800;
+  /// Extra attempts after a refused injection (0 disables retry).
+  int max_retries = 2;
+  /// Consecutive refusals that open a replica's circuit breaker.
+  int breaker_threshold = 5;
+  /// How long an open breaker blocks a replica before one probe request is
+  /// let through (half-open).
+  SimDuration breaker_open = 500 * units::msec;
 };
+
+/// One replica's circuit-breaker state (closed admits, open blocks,
+/// half-open admits a single probe).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
 class RequestRouter : public sim::TickComponent {
  public:
@@ -33,31 +55,66 @@ class RequestRouter : public sim::TickComponent {
 
   /// Add a pod to the rotation. The pod's workload must expose a
   /// request_sink (see PodWorkload); pods without one are rejected.
-  void add_replica(int pod_id);
+  /// Duplicate pod ids are rejected (false): enrolling the same replica
+  /// twice would double its arrivals and corrupt JSQ + aggregate stats.
+  bool add_replica(int pod_id);
 
   // --- sim::TickComponent (dispatched by Cluster) ---------------------------
   void tick(SimTime now, SimDuration dt) override;
   std::string name() const override { return "cluster.router"; }
   SimDuration tick_period() const override { return 0; }  // every tick
 
+  // --- per-request dispositions (sum to generated()) ------------------------
+  std::uint64_t generated() const { return generated_; }
   std::uint64_t routed() const { return routed_; }
   std::uint64_t unroutable() const { return unroutable_; }
   std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t shed() const { return shed_; }
+  // --- attempt-level accounting ---------------------------------------------
+  std::uint64_t attempts() const { return attempts_; }
+  std::uint64_t retries() const { return retries_; }
+  // --- breaker telemetry ----------------------------------------------------
+  std::uint64_t breaker_trips() const { return breaker_trips_; }
+  std::uint64_t breaker_closes() const { return breaker_closes_; }
+  BreakerState breaker(int pod_id) const;
+  int open_breakers() const;
 
   /// Fleet-wide request stats: every replica's live sink merged with the
   /// history harvested across migrations (Pod::archived).
   server::RequestStats aggregate() const;
 
+  /// Sum of the live replicas' accept-queue depths (requests routed but not
+  /// yet completed and not lost to a teardown).
+  std::uint64_t queued() const;
+
  private:
+  struct Replica {
+    int pod = -1;
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    SimTime open_until = 0;
+  };
+
   server::WorkerPoolServer* sink(int pod_id) const;
+  void route_one(SimTime now);
+  void record_success(Replica& replica);
+  void record_failure(Replica& replica, SimTime now);
+  /// Breaker gate for this attempt; promotes open → half-open when due.
+  bool admits(Replica& replica, SimTime now);
 
   Cluster& cluster_;
   RouterConfig config_;
-  std::vector<int> replicas_;  ///< pod ids, rotation order = add order
+  std::vector<Replica> replicas_;  ///< rotation order = add order
   double accumulator_ = 0;
+  std::uint64_t generated_ = 0;
   std::uint64_t routed_ = 0;
   std::uint64_t unroutable_ = 0;
-  std::uint64_t dropped_ = 0;  ///< accepted by JSQ but refused by the sink
+  std::uint64_t dropped_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t breaker_trips_ = 0;
+  std::uint64_t breaker_closes_ = 0;
 };
 
 }  // namespace arv::cluster

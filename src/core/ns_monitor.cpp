@@ -207,6 +207,10 @@ void NsMonitor::tick(SimTime now, SimDuration /*dt*/) {
   // period, re-read after every firing (§3.2: "its update interval is set
   // to the scheduling period in Linux, during which all tasks are
   // guaranteed to run at least once").
+  if (stalled_) {
+    ++stalled_rounds_;
+    return;
+  }
   update_all(now);
 }
 

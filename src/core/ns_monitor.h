@@ -67,6 +67,16 @@ class NsMonitor : public sim::TickComponent {
 
   std::uint64_t update_rounds() const { return update_rounds_; }
 
+  /// Fault injection: while stalled, scheduled update rounds are skipped and
+  /// every sys_namespace keeps serving its last-computed view (stale reads —
+  /// the failure mode a wedged daemon produces). Observation windows are NOT
+  /// reset, so the first round after the stall spans the whole gap and
+  /// catches up in one pass. Explicit update_all() calls still work.
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+  /// Update rounds that were due but skipped because of a stall.
+  std::uint64_t stalled_rounds() const { return stalled_rounds_; }
+
   /// Attach the observability layer. Registers the monitor's host-wide
   /// update-round counter plus, for every current and future sys_namespace,
   /// the Algorithm 1/2 series (e_cpu, e_mem, bounds, update counters) under
@@ -107,7 +117,9 @@ class NsMonitor : public sim::TickComponent {
   CpuTime last_slack_ = 0;
   bool bounds_dirty_ = false;
   bool decision_series_ = false;
+  bool stalled_ = false;
   std::uint64_t update_rounds_ = 0;
+  std::uint64_t stalled_rounds_ = 0;
   obs::TraceRecorder* trace_ = nullptr;  ///< not owned; may be null
 };
 

@@ -129,11 +129,31 @@ int FleetScenario::place_web_pod(const std::string& strategy,
 }
 
 void FleetScenario::enable_router(double arrivals_per_sec) {
-  ARV_ASSERT_MSG(router_ == nullptr, "router already enabled");
   cluster::RouterConfig config;
   config.arrivals_per_sec = arrivals_per_sec;
+  enable_router(config);
+}
+
+void FleetScenario::enable_router(cluster::RouterConfig config) {
+  ARV_ASSERT_MSG(router_ == nullptr, "router already enabled");
   router_ = std::make_unique<cluster::RequestRouter>(cluster_, config);
   cluster_.add_component(router_.get());
+}
+
+void FleetScenario::enable_recovery(cluster::DetectorConfig detector,
+                                    cluster::RestartConfig restart) {
+  ARV_ASSERT_MSG(detector_ == nullptr, "recovery already enabled");
+  detector_ = std::make_unique<cluster::FailureDetector>(cluster_, detector);
+  restarts_ = std::make_unique<cluster::RestartManager>(cluster_, restart);
+  cluster_.add_component(detector_.get());
+  cluster_.add_component(restarts_.get());
+}
+
+void FleetScenario::enable_faults(cluster::FaultPlan plan) {
+  ARV_ASSERT_MSG(injector_ == nullptr, "faults already enabled");
+  injector_ =
+      std::make_unique<cluster::FaultInjector>(cluster_, std::move(plan));
+  cluster_.add_component(injector_.get());
 }
 
 void FleetScenario::enable_rebalancer(cluster::RebalanceConfig config) {

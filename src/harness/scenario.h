@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/cluster/faults.h"
 #include "src/cluster/rebalancer.h"
+#include "src/cluster/recovery.h"
 #include "src/cluster/router.h"
 #include "src/cluster/scheduler.h"
 #include "src/container/container.h"
@@ -147,9 +149,22 @@ class FleetScenario {
   /// Route an open-loop stream at `arrivals_per_sec` across the web replicas
   /// placed so far and later. Call before placing web pods.
   void enable_router(double arrivals_per_sec);
+  /// Same, with the full retry/breaker configuration.
+  void enable_router(cluster::RouterConfig config);
 
   /// Activate corrective migration. Call after every add_host().
   void enable_rebalancer(cluster::RebalanceConfig config = {});
+
+  /// Activate failure recovery: a FailureDetector that fails pods over off
+  /// dead hosts plus a RestartManager that restarts crashed pods in place
+  /// with CrashLoopBackOff. Call after every add_host().
+  void enable_recovery(cluster::DetectorConfig detector = {},
+                       cluster::RestartConfig restart = {});
+
+  /// Replay a fault plan against the fleet. Call after the pods whose ids
+  /// the plan names exist (fire-time lookups tolerate missing pods but a
+  /// plan full of skips tests nothing).
+  void enable_faults(cluster::FaultPlan plan);
 
   void run(SimDuration duration) { cluster_.run_for(duration); }
 
@@ -157,12 +172,18 @@ class FleetScenario {
   cluster::ClusterScheduler& scheduler() { return scheduler_; }
   cluster::RequestRouter* router() { return router_.get(); }
   cluster::Rebalancer* rebalancer() { return rebalancer_.get(); }
+  cluster::FailureDetector* detector() { return detector_.get(); }
+  cluster::RestartManager* restarts() { return restarts_.get(); }
+  cluster::FaultInjector* injector() { return injector_.get(); }
 
  private:
   cluster::Cluster cluster_;
   cluster::ClusterScheduler scheduler_;
   std::unique_ptr<cluster::RequestRouter> router_;
   std::unique_ptr<cluster::Rebalancer> rebalancer_;
+  std::unique_ptr<cluster::FailureDetector> detector_;
+  std::unique_ptr<cluster::RestartManager> restarts_;
+  std::unique_ptr<cluster::FaultInjector> injector_;
 };
 
 /// Samples one JVM's heap geometry every `interval` — Figure 12's series.

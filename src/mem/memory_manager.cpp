@@ -233,6 +233,10 @@ void MemoryManager::oom_kill_largest() {
   cgroup::CgroupId victim = -1;
   Bytes largest = -1;
   for (const auto& [id, st] : cgroups_) {
+    // Strict > over ascending map order pins the tie-break: on equal
+    // committed size the LOWEST cgroup id dies. The pin matters for the
+    // determinism contract — chaos runs replay byte-identically only if
+    // the OOM victim is a pure function of the accounting state.
     if (!st.oom_killed && st.resident + st.swapped > largest) {
       largest = st.resident + st.swapped;
       victim = id;

@@ -35,6 +35,7 @@ double RequestStats::p95_ms() const {
 void RequestStats::merge(const RequestStats& other) {
   completed += other.completed;
   arrived += other.arrived;
+  dropped += other.dropped;
   latency_us.merge(other.latency_us);
   latencies.insert(latencies.end(), other.latencies.begin(),
                    other.latencies.end());
@@ -98,7 +99,7 @@ void WorkerPoolServer::admit_arrivals(SimTime now, SimDuration dt) {
     arrival_accumulator_ -= 1.0;
     ++stats_.arrived;
     if (queue_.size() >= config_.max_queue) {
-      ++dropped_;  // listen backlog overflow
+      ++stats_.dropped;  // listen backlog overflow
       continue;
     }
     queue_.push_back(now);
@@ -108,7 +109,7 @@ void WorkerPoolServer::admit_arrivals(SimTime now, SimDuration dt) {
 bool WorkerPoolServer::inject_request(SimTime now) {
   ++stats_.arrived;
   if (queue_.size() >= config_.max_queue) {
-    ++dropped_;
+    ++stats_.dropped;
     return false;
   }
   queue_.push_back(now);
@@ -168,8 +169,12 @@ CacheServer::CacheServer(container::Host& host, container::Container& target,
 CacheServer::~CacheServer() {
   if (attached_) {
     host_.scheduler().detach(container_.cgroup(), this);
-    if (cache_committed_ > 0) {
-      host_.memory().uncharge(container_.cgroup(), cache_committed_);
+    // An OOM kill may have reaped the cgroup's pages behind our back;
+    // release only what is still on the manager's books.
+    const Bytes release = std::min(
+        cache_committed_, host_.memory().committed(container_.cgroup()));
+    if (release > 0) {
+      host_.memory().uncharge(container_.cgroup(), release);
     }
   }
 }
@@ -196,6 +201,9 @@ double CacheServer::hit_ratio() const {
 }
 
 void CacheServer::grow_cache(SimTime now, SimDuration /*dt*/, CpuTime grant) {
+  if (host_.memory().oom_killed(container_.cgroup())) {
+    return;  // the books were zeroed by the kill; never uncharge from them
+  }
   if (cache_committed_ >= cache_target_) {
     // Shrink promptly when the target dropped (resize/reload).
     if (cache_committed_ > cache_target_) {

@@ -36,6 +36,10 @@ enum class Sizing {
 struct RequestStats {
   std::uint64_t completed = 0;
   std::uint64_t arrived = 0;
+  /// Arrivals refused at the accept queue. Lives in the stats block (not a
+  /// bare server counter) so drops survive the archive/merge pipeline that
+  /// carries a replica's history across migrations and crashes.
+  std::uint64_t dropped = 0;
   RunningStats latency_us;
   std::vector<double> latencies;  ///< per-request, for percentiles
 
@@ -80,7 +84,7 @@ class WorkerPoolServer : public sched::Schedulable {
 
   int workers() const { return workers_; }
   std::size_t queue_depth() const { return queue_.size(); }
-  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t dropped() const { return stats_.dropped; }
   const RequestStats& stats() const { return stats_; }
   const std::vector<int>& worker_trace() const { return worker_trace_; }
 
@@ -96,7 +100,6 @@ class WorkerPoolServer : public sched::Schedulable {
   std::deque<SimTime> queue_;  ///< arrival time of each queued request
   CpuTime current_request_progress_ = 0;
   SimTime next_resize_ = 0;
-  std::uint64_t dropped_ = 0;
   double arrival_accumulator_ = 0;
   RequestStats stats_;
   std::vector<int> worker_trace_;

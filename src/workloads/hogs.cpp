@@ -47,8 +47,12 @@ MemHog::MemHog(container::Host& host, container::Container& target, Bytes footpr
 MemHog::~MemHog() {
   if (attached_) {
     host_.scheduler().detach(container_.cgroup(), this);
-    if (charged_ > 0) {
-      host_.memory().uncharge(container_.cgroup(), charged_);
+    // An OOM kill may have reaped the cgroup's pages behind our back;
+    // release only what is still on the manager's books.
+    const Bytes release =
+        std::min(charged_, host_.memory().committed(container_.cgroup()));
+    if (release > 0) {
+      host_.memory().uncharge(container_.cgroup(), release);
     }
   }
 }

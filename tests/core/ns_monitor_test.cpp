@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/sim/engine.h"
 #include "tests/testing/fake_consumer.h"
 
@@ -205,6 +209,94 @@ TEST(NsMonitor, MonitorAttachedLateIgnoresHistoricSlack) {
   // had slack during my first window": the seeded baseline sees zero new
   // slack, so the view holds its guaranteed share instead of growing.
   EXPECT_EQ(ns->effective_cpus(), 10);
+}
+
+TEST(NsMonitor, CgroupDeletedWhileViewStillReferenced) {
+  Fixture f;
+  const auto a = f.add_container("a");
+  const auto b = f.add_container("b");
+  FakeConsumer busy(8);
+  f.sched.attach(a->cgroup(), &busy);
+  f.engine.run_for(1 * sec);
+  const int frozen_cpus = a->effective_cpus();
+  const Bytes frozen_mem = a->effective_memory();
+
+  // A cluster-level consumer (placement, a pseudo-file render) may still
+  // hold the view when the container dies. Destroying the cgroup must
+  // unregister the namespace without invalidating the outstanding pointer.
+  f.sched.detach(a->cgroup(), &busy);
+  f.tree.destroy(a->cgroup());
+  EXPECT_EQ(f.monitor.registered_count(), 1u);
+  EXPECT_EQ(f.monitor.lookup(a->cgroup()), nullptr);
+
+  // The orphaned view is frozen at its last state; update rounds neither
+  // touch it nor trip over the missing cgroup.
+  f.engine.run_for(1 * sec);
+  EXPECT_EQ(a->effective_cpus(), frozen_cpus);
+  EXPECT_EQ(a->effective_memory(), frozen_mem);
+  EXPECT_GT(b->cpu_updates(), 0u);  // survivors keep updating
+  EXPECT_EQ(f.monitor.views().size(), 1u);
+}
+
+TEST(NsMonitor, StallSkipsRoundsFreezesViewsThenCatchesUp) {
+  Fixture f;
+  f.add_container("peer");  // share denominator: a's lower < upper
+  const auto a = f.add_container("a");
+  FakeConsumer busy(16);
+  f.sched.attach(a->cgroup(), &busy);
+  f.engine.run_for(1 * sec);
+  const auto updates_before = a->cpu_updates();
+  const auto rounds_before = f.monitor.update_rounds();
+  ASSERT_GT(updates_before, 0u);
+
+  f.monitor.set_stalled(true);
+  f.engine.run_for(1 * sec);
+  EXPECT_EQ(f.monitor.update_rounds(), rounds_before);
+  EXPECT_EQ(a->cpu_updates(), updates_before) << "stalled views must freeze";
+  // 16 runnable tasks stretch the scheduling period to 48 ms (3 ms * nr),
+  // so ~20 rounds were due across the stalled second.
+  EXPECT_GT(f.monitor.stalled_rounds(), 15u);
+
+  // Recovery: windows were not reset, so the first round spans the whole
+  // stall and the view moves again immediately.
+  f.monitor.set_stalled(false);
+  f.engine.run_for(30 * msec);
+  EXPECT_GT(a->cpu_updates(), updates_before);
+  EXPECT_GT(f.monitor.update_rounds(), rounds_before);
+}
+
+// Property: whatever mix of stalls, forced rounds, registrations, and load
+// shifts happens, every completed update round makes exactly one decision
+// per namespace — the per-reason counters partition the update count.
+TEST(NsMonitor, DecisionCountersSumToOnePerRoundUnderStalls) {
+  Fixture f;
+  std::vector<std::shared_ptr<SysNamespace>> views;
+  std::vector<std::unique_ptr<FakeConsumer>> consumers;
+  for (int i = 0; i < 3; ++i) {
+    const auto ns = f.add_container("c" + std::to_string(i));
+    views.push_back(ns);
+    consumers.push_back(std::make_unique<FakeConsumer>(4 + 6 * i));
+    f.sched.attach(ns->cgroup(), consumers.back().get());
+  }
+  // Alternate stalled and healthy windows; sprinkle forced rounds in both
+  // (explicit update_all works even while the periodic path is wedged).
+  for (int phase = 0; phase < 6; ++phase) {
+    f.monitor.set_stalled(phase % 2 == 1);
+    f.engine.run_for(300 * msec);
+    f.monitor.update_all(f.engine.now());
+  }
+  f.monitor.set_stalled(false);
+  f.engine.run_for(300 * msec);
+
+  EXPECT_GT(f.monitor.stalled_rounds(), 0u);
+  for (const auto& ns : views) {
+    EXPECT_GT(ns->cpu_updates(), 0u);
+    EXPECT_EQ(ns->cpu_decisions().total(), ns->cpu_updates())
+        << "cpu decision reasons must partition the rounds";
+    EXPECT_EQ(ns->mem_decisions().total(), ns->mem_updates())
+        << "mem decision reasons must partition the rounds";
+    EXPECT_EQ(ns->cpu_updates(), ns->mem_updates());
+  }
 }
 
 TEST(NsMonitor, UpdateAllCanBeForcedManually) {

@@ -187,6 +187,28 @@ TEST(MemoryManager, GlobalOomWhenNothingReclaimable) {
   EXPECT_TRUE(mm.oom_killed(a));
 }
 
+// Determinism pin: on equal committed size the global OOM killer takes the
+// LOWEST cgroup id. Chaos runs replay byte-identically only because the
+// victim is a pure function of the accounting state — this test freezes
+// that tie-break.
+TEST(MemoryManager, GlobalOomTieBreaksOnLowestCgroupId) {
+  Fixture f;
+  Config config = small_config();
+  config.swap_size = 0;
+  MemoryManager mm(f.tree, config);
+  const auto first = f.tree.create("first");
+  const auto second = f.tree.create("second");
+  ASSERT_LT(first, second);
+  // Identical committed sizes, then a third charge pushes past RAM.
+  mm.charge(first, 500 * MiB);
+  mm.charge(second, 500 * MiB);
+  const auto trigger = f.tree.create("trigger");
+  mm.charge(trigger, 200 * MiB);
+  ASSERT_GE(mm.oom_kills(), 1u);
+  EXPECT_TRUE(mm.oom_killed(first)) << "tie must go to the lowest id";
+  EXPECT_FALSE(mm.oom_killed(second));
+}
+
 TEST(MemoryManager, HostReservationShrinksFree) {
   Fixture f;
   f.mm.reserve_host_memory(512 * MiB);
