@@ -1,6 +1,8 @@
 #include "src/cluster/cluster.h"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 
 #include "src/util/assert.h"
 #include "src/util/log.h"
@@ -11,6 +13,11 @@ Cluster::Cluster(ClusterConfig config) : config_(config), rng_(config.seed) {
   ARV_ASSERT(config_.tick > 0);
   ARV_ASSERT(config_.observe_window >= config_.tick);
   ARV_ASSERT(config_.migration_bandwidth_per_sec > 0);
+  ARV_ASSERT_MSG(config_.threads >= 0, "threads must be >= 0 (0 = auto)");
+  threads_ =
+      config_.threads > 0 ? config_.threads : sim::WorkerPool::default_threads();
+  pool_ = std::make_unique<sim::WorkerPool>(threads_);
+  shard_skips_.assign(static_cast<std::size_t>(threads_), 0);
   if (config_.enable_tracing) {
     obs::TraceConfig trace_config;
     trace_config.sample_interval = config_.trace_interval;
@@ -41,6 +48,18 @@ Cluster::Cluster(ClusterConfig config) : config_(config), rng_(config.seed) {
       }
       return up;
     });
+    trace_->add_counter("cluster.hosts_skipped", "", [this] {
+      return static_cast<std::int64_t>(hosts_skipped());
+    });
+    if (config_.trace_timing) {
+      // Wall-clock series: machine- and thread-count-dependent by nature,
+      // so they live behind trace_timing (see ClusterConfig).
+      trace_->add_gauge("cluster.step_ms", "",
+                        [this] { return last_step_wall_us_ / 1000; });
+      trace_->add_gauge("cluster.threads", "", [this] {
+        return static_cast<std::int64_t>(threads_);
+      });
+    }
   }
 }
 
@@ -73,9 +92,8 @@ void Cluster::register_host_trace(int index) {
   });
   trace_->add_gauge("pods", scope,
                     [this, index] { return hosts_[static_cast<std::size_t>(index)].pods; });
-  trace_->add_counter("slack_total", scope, [this, index] {
-    return hosts_[static_cast<std::size_t>(index)].host->scheduler().total_slack();
-  });
+  trace_->add_counter("slack_total", scope,
+                      [this, index] { return host_slack_total(index); });
   trace_->add_gauge("up", scope, [this, index] {
     return hosts_[static_cast<std::size_t>(index)].up ? 1 : 0;
   });
@@ -93,18 +111,71 @@ void Cluster::add_component(sim::TickComponent* component) {
 void Cluster::step() {
   ARV_ASSERT_MSG(!hosts_.empty(), "cluster has no hosts");
   now_ += config_.tick;
-  for (HostState& state : hosts_) {
-    state.host->engine().step();
-    ARV_ASSERT(state.host->now() == now_);
-  }
+  host_phase();
+  // Serial phases, on this thread, in a fixed order; every stage iterates
+  // hosts/pods in index order, so the merge is thread-count-invariant.
   observe_slack();
   // Migrations land before components run, so a rebalancer/router round
-  // never observes a pod that should already have arrived.
+  // never observes a pod that should already have arrived; the view arena
+  // refreshes after landing so it reflects the landed state.
   settle_migrations();
+  refresh_views();
   dispatch_components();
   if (trace_ != nullptr) {
     trace_->tick(now_, config_.tick);
   }
+  ++steps_;
+}
+
+void Cluster::host_phase() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  in_host_phase_ = true;
+  pool_->run([this](int shard) { host_phase_shard(shard); });
+  in_host_phase_ = false;
+  last_step_wall_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  host_phase_wall_us_ += last_step_wall_us_;
+}
+
+void Cluster::host_phase_shard(int shard) {
+  const int count = host_count();
+  std::uint64_t skipped = 0;
+  for (int i = shard; i < count; i += threads_) {
+    HostState& state = hosts_[static_cast<std::size_t>(i)];
+    if (config_.skip_idle_hosts && state.host->quiescent()) {
+      // Freeze: the host's clock stays behind; observe_slack and the trace
+      // account for the gap analytically, sync_host replays it on touch.
+      ++skipped;
+      continue;
+    }
+    // A host can only fall behind while quiescent, and quiescence cannot
+    // flip off spontaneously — only a serial-phase touch (which syncs) can
+    // end it — so a non-skipped host is always exactly one tick behind.
+    ARV_ASSERT_MSG(state.host->now() + config_.tick == now_,
+                   "non-quiescent host fell behind the cluster clock");
+    state.host->engine().step();
+    ARV_ASSERT(state.host->now() == now_);
+  }
+  shard_skips_[static_cast<std::size_t>(shard)] += skipped;
+}
+
+void Cluster::sync_host(int index) {
+  HostState& state = hosts_.at(static_cast<std::size_t>(index));
+  if (state.host->now() < now_) {
+    state.host->advance_idle(now_);
+  }
+}
+
+std::uint64_t Cluster::hosts_skipped() const {
+  return std::accumulate(shard_skips_.begin(), shard_skips_.end(),
+                         std::uint64_t{0});
+}
+
+CpuTime Cluster::host_slack_total(int index) const {
+  const HostState& state = hosts_.at(static_cast<std::size_t>(index));
+  return state.host->scheduler().total_slack() +
+         static_cast<CpuTime>(state.host->cpus()) * (now_ - state.host->now());
 }
 
 void Cluster::run_for(SimDuration duration) {
@@ -116,6 +187,16 @@ void Cluster::run_for(SimDuration duration) {
 
 void Cluster::observe_slack() {
   for (HostState& state : hosts_) {
+    if (state.host->now() < now_) {
+      // Frozen host: the skipped tick's slack is analytic — full capacity
+      // idle. last_total_slack advances in lockstep so the diff stays exact
+      // when the host later syncs (advance_idle adds the same total).
+      const CpuTime tick_slack =
+          static_cast<CpuTime>(state.host->cpus()) * config_.tick;
+      state.accum_slack += tick_slack;
+      state.last_total_slack += tick_slack;
+      continue;
+    }
     const CpuTime total = state.host->scheduler().total_slack();
     state.accum_slack += total - state.last_total_slack;
     state.last_total_slack = total;
@@ -131,6 +212,7 @@ void Cluster::observe_slack() {
 }
 
 int Cluster::create_pod(int host_index, PodSpec spec, WorkloadFactory factory) {
+  ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   ARV_ASSERT(host_index >= 0 && host_index < host_count());
   ARV_ASSERT_MSG(host_up(host_index), "cannot create a pod on a down host");
   if (spec.name.empty()) {
@@ -151,6 +233,7 @@ int Cluster::create_pod(int host_index, PodSpec spec, WorkloadFactory factory) {
 }
 
 void Cluster::land_pod(Pod& pod) {
+  sync_host(pod.host);  // a frozen target catches up before anything lands
   HostState& state = hosts_[static_cast<std::size_t>(pod.host)];
   ARV_ASSERT_MSG(state.up, "cannot land a pod on a down host");
   pod.container = &state.runtime->run(container::pod_container(
@@ -174,8 +257,10 @@ void Cluster::harvest_stats(Pod& pod) {
 }
 
 void Cluster::stop_pod(int pod_id) {
+  ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
   ARV_ASSERT_MSG(pod.host >= 0, "pod is already stopped");
+  sync_host(pod.host);
   if (pod.running()) {
     harvest_stats(pod);
     pod.workload.reset();  // detaches from the source scheduler
@@ -201,6 +286,7 @@ void Cluster::stop_pod(int pod_id) {
 }
 
 void Cluster::migrate_pod(int pod_id, int target_host) {
+  ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
   ARV_ASSERT(target_host >= 0 && target_host < host_count());
   ARV_ASSERT_MSG(pod.running(), "cannot migrate a stopped or in-flight pod");
@@ -269,7 +355,9 @@ void Cluster::fail_pod(Pod& pod) {
 }
 
 void Cluster::crash_host(int host_index) {
+  ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   ARV_ASSERT(host_index >= 0 && host_index < host_count());
+  sync_host(host_index);  // a crash observes a host at cluster time, always
   HostState& state = hosts_[static_cast<std::size_t>(host_index)];
   ARV_ASSERT_MSG(state.up, "host is already down");
   state.up = false;
@@ -298,7 +386,9 @@ void Cluster::crash_host(int host_index) {
 }
 
 void Cluster::reboot_host(int host_index) {
+  ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   ARV_ASSERT(host_index >= 0 && host_index < host_count());
+  sync_host(host_index);
   HostState& state = hosts_[static_cast<std::size_t>(host_index)];
   ARV_ASSERT_MSG(!state.up, "host is not down");
   state.up = true;
@@ -308,6 +398,7 @@ void Cluster::reboot_host(int host_index) {
 }
 
 void Cluster::crash_pod(int pod_id) {
+  ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
   ARV_ASSERT_MSG(pod.running(), "cannot crash a pod that is not running");
   fail_pod(pod);
@@ -316,6 +407,7 @@ void Cluster::crash_pod(int pod_id) {
 }
 
 void Cluster::restart_pod(int pod_id) {
+  ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
   ARV_ASSERT_MSG(pod.failed && pod.host >= 0, "pod is not awaiting restart");
   ARV_ASSERT_MSG(host_up(pod.host), "cannot restart a pod on a down host");
@@ -326,6 +418,7 @@ void Cluster::restart_pod(int pod_id) {
 }
 
 void Cluster::failover_pod(int pod_id, int target_host) {
+  ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
   ARV_ASSERT(target_host >= 0 && target_host < host_count());
   ARV_ASSERT_MSG(pod.failed && pod.host >= 0, "pod is not awaiting failover");
@@ -362,20 +455,30 @@ void Cluster::dispatch_components() {
 
 HostView Cluster::host_view(int index) const {
   const HostState& state = hosts_.at(static_cast<std::size_t>(index));
-  const container::HostSnapshot snap = state.host->snapshot();
   HostView view;
   view.index = index;
-  view.capacity_millicpu = static_cast<std::int64_t>(snap.cpus) * 1000;
-  view.capacity_memory = snap.ram;
+  // Flat subsystem reads only — Host::snapshot() builds per-container name
+  // strings, far too heavy for a per-tick arena refresh over 256 hosts.
+  // Every field is valid for a frozen host: free memory and the ledger do
+  // not change while frozen, and window_slack is maintained analytically.
+  view.capacity_millicpu = static_cast<std::int64_t>(state.host->cpus()) * 1000;
+  view.capacity_memory = state.host->ram();
   view.requested_millicpu = state.requested_millicpu;
   view.requested_memory = state.requested_memory;
   view.pods = state.pods;
   // window_slack is idle CPU-time over the observation window; normalize to
   // milli-CPUs (1000 = one core fully idle across the window).
   view.slack_millicpu = state.window_slack * 1000 / config_.observe_window;
-  view.free_memory = snap.free_memory;
+  view.free_memory = state.host->memory().free_memory();
   view.up = state.up;
   return view;
+}
+
+void Cluster::refresh_views() {
+  views_.resize(hosts_.size());
+  for (int i = 0; i < host_count(); ++i) {
+    views_[static_cast<std::size_t>(i)] = host_view(i);
+  }
 }
 
 std::vector<HostView> Cluster::host_views() const {

@@ -1,12 +1,28 @@
 // Cluster — a multi-host fleet on one deterministic clock.
 //
-// N simulated Hosts advance in lockstep: every cluster tick steps each
-// host's engine once (in host order), then settles due pod migrations, then
-// dispatches the cluster-level components (rebalancer, request router), then
-// samples the cluster trace. Every stage iterates hosts and pods in index
-// order, so the same configuration and seed produce byte-identical cluster
-// traces — the same determinism contract the single-host layer pins with
-// golden traces.
+// N simulated Hosts advance in lockstep. Every cluster tick runs two kinds
+// of phase (see DESIGN.md §11):
+//
+//   1. The *host phase*: each host's engine advances one tick. Hosts are
+//      independent within a tick (nothing crosses host boundaries until the
+//      serial phases), so the phase is sharded statically across a fixed
+//      worker pool — worker w steps hosts w, w+T, w+2T, ... — and closed
+//      with a barrier. Hosts that are provably quiescent (Host::quiescent)
+//      are skipped entirely: their clock freezes and the interval is
+//      replayed analytically on first touch (sync-on-touch).
+//   2. The *serial phases*, on the calling thread in a fixed order: slack
+//      window accounting, the HostView arena refresh, due pod migrations,
+//      cluster-level components (rebalancer, router, fault machinery), and
+//      the trace sample. Every serial stage iterates hosts and pods in
+//      index order.
+//
+// Because the shard assignment never affects *what* a host computes — only
+// *which thread* computes it — and every cross-host interaction happens in
+// the index-ordered serial phases, the same configuration and seed produce
+// byte-identical cluster traces at any thread count, skip setting, or
+// machine: the same determinism contract the single-host layer pins with
+// golden traces. threads=1 runs the shard loop inline with no pool
+// machinery at all, so "the serial engine" is literally the same code path.
 //
 // The cluster owns the pods. A Pod couples a Kubernetes-style spec with the
 // container currently realising it and the workload object running inside;
@@ -27,6 +43,7 @@
 #include "src/obs/trace_recorder.h"
 #include "src/server/server_runtime.h"
 #include "src/sim/engine.h"
+#include "src/sim/worker_pool.h"
 #include "src/util/rng.h"
 
 namespace arv::server {
@@ -69,6 +86,20 @@ struct ClusterConfig {
   /// and routing counters). Observation-only, like host tracing.
   bool enable_tracing = false;
   SimDuration trace_interval = 100 * units::msec;
+  /// Worker threads for the host phase. 1 = step hosts inline on the
+  /// calling thread; 0 = auto (hardware concurrency, clamped to 16).
+  /// Changing the thread count never changes simulation results or traces.
+  int threads = 1;
+  /// Skip hosts whose tick would provably be a no-op (Host::quiescent):
+  /// their clock freezes and catches up analytically on first touch. Exact
+  /// by construction — traces are identical with the skip on or off; the
+  /// flag exists so tests can pin that equivalence.
+  bool skip_idle_hosts = true;
+  /// Also trace wall-clock series (cluster.step_ms, cluster.threads). Off
+  /// by default: wall time is machine- and thread-count-dependent, so these
+  /// columns would break the byte-identical-trace contract. The always-on
+  /// cluster.hosts_skipped series is deterministic and stays.
+  bool trace_timing = false;
 };
 
 /// One scheduled pod. The container pointer is null while the pod is in
@@ -113,8 +144,16 @@ class Cluster {
   int add_host(container::HostConfig host_config = {});
 
   int host_count() const { return static_cast<int>(hosts_.size()); }
-  container::Host& host(int index) { return *hosts_.at(static_cast<std::size_t>(index)).host; }
+
+  /// Access a host (or its runtime). Syncs a frozen host's clock first
+  /// (sync-on-touch), so callers always observe a host at cluster time —
+  /// the single serialization point the fault machinery relies on.
+  container::Host& host(int index) {
+    sync_host(index);
+    return *hosts_.at(static_cast<std::size_t>(index)).host;
+  }
   container::ContainerRuntime& runtime(int index) {
+    sync_host(index);
     return *hosts_.at(static_cast<std::size_t>(index)).runtime;
   }
 
@@ -189,15 +228,46 @@ class Cluster {
 
   // --- observed state ------------------------------------------------------
   /// The strategy-facing view of one host: declared request sums from the
-  /// cluster ledger, observed slack/free-memory from the host snapshot.
+  /// cluster ledger, observed slack/free-memory from the host subsystems.
+  /// Correct for frozen hosts without syncing them (their observables are
+  /// constant while frozen).
   HostView host_view(int index) const;
   std::vector<HostView> host_views() const;
+
+  /// The per-tick HostView arena, refreshed at the barrier right after the
+  /// host phase each tick. Placement-batch consumers (ClusterScheduler,
+  /// FailureDetector) must keep calling host_views() — mid-batch ledger
+  /// updates are invisible here until the next tick — but per-round readers
+  /// (the rebalancer, the trace) read this without rebuilding N views.
+  /// Empty until the first step.
+  const std::vector<HostView>& views() const { return views_; }
+
+  // --- parallel host phase --------------------------------------------------
+  /// Resolved worker count (config threads, with 0 mapped to auto).
+  int threads() const { return threads_; }
+
+  /// Cumulative count of host-ticks skipped by the quiescence fast path.
+  /// Deterministic: a host's skip decision depends only on its own state,
+  /// never on sharding, so this is identical at any thread count.
+  std::uint64_t hosts_skipped() const;
+
+  /// Cumulative wall-clock time spent in the (possibly parallel) host
+  /// phase, and the number of cluster steps taken — the benchmark signal.
+  std::int64_t host_phase_wall_us() const { return host_phase_wall_us_; }
+  std::uint64_t steps_taken() const { return steps_; }
 
   /// Idle CPU time accumulated on the host during the last *completed*
   /// observation window (a fresh host reports a fully idle window).
   CpuTime window_slack(int index) const {
     return hosts_.at(static_cast<std::size_t>(index)).window_slack;
   }
+
+  /// A host's cumulative idle CPU time as of cluster time, frozen hosts
+  /// included: the scheduler counter plus an analytic full-capacity credit
+  /// for the frozen gap (exactly what advance_idle will add on touch).
+  /// Reading this never syncs the host — the cheap path for per-round
+  /// slack consumers (rebalancer, trace).
+  CpuTime host_slack_total(int index) const;
 
   Rng& rng() { return rng_; }
   const ClusterConfig& config() const { return config_; }
@@ -234,7 +304,12 @@ class Cluster {
     SimTime last = 0;
   };
 
+  void host_phase();
+  void host_phase_shard(int shard);
+  /// Catch a frozen host's clock up to cluster time (no-op when current).
+  void sync_host(int index);
   void observe_slack();
+  void refresh_views();
   void settle_migrations();
   void dispatch_components();
   void land_pod(Pod& pod);
@@ -246,6 +321,19 @@ class Cluster {
   Rng rng_;
   SimTime now_ = 0;
   SimDuration window_elapsed_ = 0;
+  int threads_ = 1;  ///< resolved from config (0 -> auto)
+  std::unique_ptr<sim::WorkerPool> pool_;
+  /// True only while the worker pool is stepping hosts. Every topology or
+  /// fault mutator asserts it is false: mutations are legal only in the
+  /// serial phases, so a crash can never observe a half-stepped fleet.
+  bool in_host_phase_ = false;
+  /// Skip counts, one slot per shard so workers never contend on a counter;
+  /// hosts_skipped() sums them (the sum is sharding-invariant).
+  std::vector<std::uint64_t> shard_skips_;
+  std::int64_t host_phase_wall_us_ = 0;
+  std::int64_t last_step_wall_us_ = 0;
+  std::uint64_t steps_ = 0;
+  std::vector<HostView> views_;  ///< per-tick arena; see views()
   std::vector<HostState> hosts_;
   std::vector<Pod> pods_;
   std::vector<PendingMigration> pending_;

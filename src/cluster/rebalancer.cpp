@@ -15,7 +15,8 @@ Rebalancer::Rebalancer(Cluster& cluster, RebalanceConfig config)
   ARV_ASSERT(config_.saturated_rounds >= 1);
   track_.resize(static_cast<std::size_t>(cluster_.host_count()));
   for (int i = 0; i < cluster_.host_count(); ++i) {
-    track_[static_cast<std::size_t>(i)].last_total_slack = cluster_.host(i).scheduler().total_slack();
+    track_[static_cast<std::size_t>(i)].last_total_slack =
+        cluster_.host_slack_total(i);
   }
 }
 
@@ -24,13 +25,16 @@ void Rebalancer::tick(SimTime now, SimDuration dt) {
                  "hosts added after the rebalancer was constructed");
   // 1. Judge the round: did each host show any real idle time since the
   //    last one? total_slack is cumulative, so the round's slack is a delta.
+  //    host_slack_total and the view arena never sync a host, so an
+  //    all-idle fleet stays frozen through rebalancer rounds.
   for (int i = 0; i < cluster_.host_count(); ++i) {
     HostTrack& track = track_[static_cast<std::size_t>(i)];
-    const CpuTime total = cluster_.host(i).scheduler().total_slack();
+    const CpuTime total = cluster_.host_slack_total(i);
     const CpuTime round_slack = total - track.last_total_slack;
     track.last_total_slack = total;
-    const CpuTime round_capacity =
-        static_cast<CpuTime>(cluster_.host(i).cpus()) * dt;
+    const CpuTime round_capacity = static_cast<CpuTime>(
+        cluster_.views()[static_cast<std::size_t>(i)].capacity_millicpu /
+        1000 * dt);
     const CpuTime epsilon =
         round_capacity * config_.slack_epsilon_permille / 1000;
     if (round_slack <= epsilon) {
@@ -104,7 +108,10 @@ void Rebalancer::tick(SimTime now, SimDuration dt) {
           now < track_[static_cast<std::size_t>(i)].cooldown_until) {
         continue;
       }
-      const HostView view = cluster_.host_view(i);
+      // The barrier-refreshed arena: same values host_view(i) would build
+      // (nothing the rebalancer mutates before this point changes a view),
+      // without re-deriving N views per scan.
+      const HostView& view = cluster_.views()[static_cast<std::size_t>(i)];
       if (view.slack_millicpu < config_.target_min_slack_millicpu ||
           view.free_memory < victim_bytes + config_.target_min_free) {
         continue;

@@ -1,5 +1,7 @@
 #include "src/container/host.h"
 
+#include "src/util/assert.h"
+
 namespace arv::container {
 namespace {
 
@@ -28,6 +30,24 @@ HostSnapshot Host::snapshot() const {
     snap.views.push_back(std::move(info));
   }
   return snap;
+}
+
+bool Host::quiescent() const {
+  return engine_.pending_events() == 0 &&
+         engine_.component_count() == 3 &&  // scheduler + memory + monitor only
+         trace_ == nullptr && monitor_.registered_count() == 0 &&
+         !monitor_.stalled() && !memory_.kswapd_active() &&
+         memory_.free_memory() >= memory_.watermarks().low &&
+         scheduler_.idle();
+}
+
+void Host::advance_idle(SimTime to) {
+  ARV_ASSERT_MSG(quiescent(), "advance_idle on a non-quiescent host");
+  if (to <= engine_.now()) {
+    return;
+  }
+  scheduler_.accrue_idle(to - engine_.now(), config_.tick);
+  engine_.advance_clock(to);
 }
 
 Host::Host(const HostConfig& config)

@@ -84,6 +84,20 @@ class Host {
   /// Observed load summary (see HostSnapshot). Read-only.
   HostSnapshot snapshot() const;
 
+  /// True when stepping this host would provably change nothing but the
+  /// clock and idle-slack counters: no pending one-shot events, no
+  /// components beyond the three base subsystems (so no workloads and no
+  /// trace recorder), no registered container views, no reclaim in flight
+  /// or due, and no runnable CPU consumer. The cluster's idle-host skip
+  /// freezes exactly the hosts for which this holds; advance_idle() later
+  /// replays the frozen interval in O(1) per subsystem.
+  bool quiescent() const;
+
+  /// Fast-forward a quiescent host's clock to `to`, applying the interval's
+  /// cumulative effects analytically (idle slack accrual, loadavg decay).
+  /// Asserts quiescent(); no-op when already at `to`.
+  void advance_idle(SimTime to);
+
  private:
   HostConfig config_;
   sim::Engine engine_;

@@ -201,6 +201,40 @@ void FairScheduler::tick(SimTime now, SimDuration dt) {
   total_slack_ += last_tick_slack_;
 }
 
+bool FairScheduler::idle() const {
+  for (const auto& [id, entity] : entities_) {
+    if (!tree_.exists(id)) {
+      continue;  // tick() skips destroyed cgroups too
+    }
+    for (const Schedulable* consumer : entity.consumers) {
+      if (consumer->runnable_threads() > 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void FairScheduler::accrue_idle(SimDuration dt, SimDuration tick_length) {
+  ARV_ASSERT_MSG(idle(), "accrue_idle on a scheduler with runnable work");
+  ARV_ASSERT(dt > 0 && tick_length > 0 && dt % tick_length == 0);
+  for (auto& [id, entity] : entities_) {
+    if (!tree_.exists(id)) {
+      continue;
+    }
+    entity.stats.last_tick_grant = 0;
+  }
+  nr_running_ = 0;
+  // Sample-by-sample, not pow(decay, n): repeated multiplication is what a
+  // tick-by-tick run produces, and traces compare bit-for-bit.
+  const SimDuration ticks = dt / tick_length;
+  for (SimDuration i = 0; i < ticks; ++i) {
+    loadavg_.add(0.0);
+  }
+  last_tick_slack_ = static_cast<CpuTime>(online_cpus_) * tick_length;
+  total_slack_ += static_cast<CpuTime>(online_cpus_) * dt;
+}
+
 CpuTime FairScheduler::total_usage(cgroup::CgroupId id) const {
   const auto it = entities_.find(id);
   return it == entities_.end() ? 0 : it->second.stats.total_usage;

@@ -83,6 +83,20 @@ class FairScheduler : public sim::TickComponent {
   /// Runnable-thread count observed at the last tick (system-wide).
   int nr_running() const { return nr_running_; }
 
+  /// True when no live cgroup has a runnable consumer: a tick right now
+  /// would grant nothing and bank one full tick of slack. One leg of
+  /// Host::quiescent(), which gates the cluster's idle-host skip.
+  bool idle() const;
+
+  /// Apply the cumulative effect of `dt / tick_length` consecutive idle
+  /// ticks in one call — the catch-up half of the cluster's skipped-host
+  /// fast path. Reproduces tick()'s idle behaviour exactly (slack accrual,
+  /// loadavg decay sample-by-sample so floating point matches a real
+  /// tick-by-tick run, grant zeroing); quota refills are skipped because
+  /// refill_quota realigns to the period grid on the next active tick
+  /// anyway. Asserts idle().
+  void accrue_idle(SimDuration dt, SimDuration tick_length);
+
   /// Linux CFS period length: 24 ms with <= 8 runnable tasks, otherwise
   /// 3 ms * nr_running (§3.2). The sys_namespace update timer uses this.
   SimDuration scheduling_period() const;

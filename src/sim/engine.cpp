@@ -71,6 +71,36 @@ void Engine::step() {
   }
 }
 
+void Engine::advance_clock(SimTime to) {
+  ARV_ASSERT_MSG(to >= now_, "cannot rewind the clock");
+  if (to == now_) {
+    return;
+  }
+  const SimDuration gap = to - now_;
+  ARV_ASSERT_MSG(gap % tick_length_ == 0, "clock jumps are whole ticks");
+  ARV_ASSERT_MSG(events_.empty() || events_.top().when > to,
+                 "cannot jump past a due one-shot event");
+  ticks_ += static_cast<std::uint64_t>(gap / tick_length_);
+  now_ = to;
+  // Re-time dispatch entries that fell due inside the gap. The queue is a
+  // handful of entries (a quiescent host has only its base components), so
+  // drain-and-rebuild is cheap and keeps the lazy-deletion invariants: seq
+  // values are untouched, dead entries stay dead.
+  std::vector<Dispatch> entries;
+  entries.reserve(dispatch_.size());
+  while (!dispatch_.empty()) {
+    entries.push_back(dispatch_.top());
+    dispatch_.pop();
+  }
+  for (Dispatch& entry : entries) {
+    if (entry.when <= now_) {
+      entry.when = now_ + tick_length_;
+      entry.last = now_;
+    }
+    dispatch_.push(entry);
+  }
+}
+
 void Engine::run_for(SimDuration duration) {
   ARV_ASSERT(duration >= 0);
   const SimTime deadline = now_ + duration;

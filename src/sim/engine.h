@@ -79,6 +79,17 @@ class Engine {
   /// Advance exactly one tick.
   void step();
 
+  /// Jump the clock to `to` (a whole number of ticks ahead) without
+  /// dispatching anything — the skipped-host fast path of the cluster's
+  /// parallel engine. Only legal when every skipped tick would have been a
+  /// no-op: the caller (Host::advance_idle) guarantees quiescence, and this
+  /// method asserts no one-shot event was due in the gap. Component dispatch
+  /// entries that fell due inside the gap are re-timed as if they had fired
+  /// as no-ops: next dispatch one tick out, `last` = `to` so the next real
+  /// dt does not double-count the gap (the caller applies the gap's
+  /// cumulative effect, e.g. idle slack accrual, itself).
+  void advance_clock(SimTime to);
+
   /// Run for a simulated duration (rounded up to whole ticks).
   void run_for(SimDuration duration);
 

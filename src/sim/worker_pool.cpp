@@ -1,0 +1,75 @@
+#include "src/sim/worker_pool.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace arv::sim {
+
+WorkerPool::WorkerPool(int threads) : threads_(threads) {
+  ARV_ASSERT_MSG(threads >= 1, "a worker pool needs at least one shard");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int shard = 1; shard < threads; ++shard) {
+    workers_.emplace_back([this, shard] { worker_main(shard); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+int WorkerPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw), 1, 16);
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  if (threads_ == 1) {
+    fn(0);  // serial engine: no pool machinery in the path at all
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ARV_ASSERT_MSG(job_ == nullptr, "WorkerPool::run is not reentrant");
+    job_ = &fn;
+    outstanding_ = threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);  // the calling thread takes shard 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::worker_main(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(shard);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace arv::sim

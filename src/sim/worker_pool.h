@@ -1,0 +1,57 @@
+// WorkerPool — a fixed pool of worker threads for the cluster's parallel
+// host phase.
+//
+// run(fn) executes fn(shard) once for every shard in [0, threads) and
+// returns only when all shards finished — a fork/join barrier. Shard 0 runs
+// on the calling thread, so a single-threaded pool spawns no threads at all
+// and run() degenerates to a plain call: the serial engine and the
+// threads=1 parallel engine are literally the same code path, which is what
+// lets the determinism tests treat "serial" as just another thread count.
+//
+// The pool is deterministic by construction: it imposes no ordering of its
+// own (shards touch disjoint data — the cluster shards hosts statically by
+// index), and it is reused across ticks so thread creation cost is paid
+// once per run, not per tick.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace arv::sim {
+
+class WorkerPool {
+ public:
+  /// `threads` >= 1. One pool thread per shard beyond shard 0.
+  explicit WorkerPool(int threads);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  int threads() const { return threads_; }
+
+  /// Run fn(shard) for every shard in [0, threads); blocks until all
+  /// shards completed. Not reentrant: one run() at a time.
+  void run(const std::function<void(int)>& fn);
+
+  /// A sensible default width for this machine: hardware concurrency
+  /// clamped to [1, 16] (the host phase is memory-bound well before 16).
+  static int default_threads();
+
+ private:
+  void worker_main(int shard);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;  ///< valid while a run is live
+  std::uint64_t generation_ = 0;  ///< bumped per run(); workers wait on it
+  int outstanding_ = 0;           ///< pool shards still running this generation
+  bool shutdown_ = false;
+};
+
+}  // namespace arv::sim

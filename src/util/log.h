@@ -5,6 +5,7 @@
 // level checks happen before message formatting.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -27,11 +28,15 @@ class Logger {
   /// stderr output.
   void capture_to(std::string* sink) { sink_ = sink; }
 
+  /// Thread-safe: host engines step in parallel under the cluster's worker
+  /// pool, so concurrent emissions (e.g. two hosts OOM-killing in the same
+  /// tick) serialize on an internal mutex. Level checks stay lock-free.
   void log(LogLevel level, std::string_view subsystem, std::string_view message);
 
  private:
   LogLevel level_ = LogLevel::kWarn;
   std::string* sink_ = nullptr;
+  std::mutex emit_mu_;  ///< guards sink_ appends / stderr writes
 };
 
 /// Printf-style logging; the level check precedes formatting.

@@ -236,6 +236,49 @@ TEST(Engine, SubTickPeriodClampsToTickLength) {
   EXPECT_EQ(eager.times(), (std::vector<SimTime>{1000, 2000, 3000}));
 }
 
+TEST(Engine, AdvanceClockJumpsWithoutDispatching) {
+  Engine engine(1000);
+  std::vector<std::string> log;
+  Recorder a("a", &log);
+  engine.add_component(&a);
+  engine.advance_clock(5000);
+  EXPECT_EQ(engine.now(), 5000);
+  EXPECT_EQ(engine.ticks_executed(), 5u);
+  EXPECT_TRUE(log.empty()) << "a jump must not dispatch anything";
+  engine.advance_clock(5000);  // no-op jump to the present
+  EXPECT_EQ(engine.now(), 5000);
+}
+
+TEST(Engine, AdvanceClockRetimesOverdueDispatchEntries) {
+  Engine engine(1000);
+  Periodic every(0);      // due every tick
+  Periodic sparse(10000); // periodic, due at 10000
+  engine.add_component(&every);
+  engine.add_component(&sparse);
+  engine.advance_clock(4000);
+  engine.step();  // now = 5000
+  // The per-tick component resumes with dt = one tick — `last` was reset to
+  // the jump target, so the frozen gap is not double-counted into dt (the
+  // caller accounts for the gap analytically instead).
+  EXPECT_EQ(every.times(), (std::vector<SimTime>{5000}));
+  EXPECT_EQ(every.dts(), (std::vector<SimDuration>{1000}));
+  // The sparse component's *first* dispatch (due the tick after
+  // registration, per the engine's first-dispatch rule) also fell inside
+  // the gap, so it too was re-timed to the tick after the jump; its period
+  // governs from there.
+  engine.run_for(10000);  // now = 15000
+  EXPECT_EQ(sparse.times(), (std::vector<SimTime>{5000, 15000}));
+  EXPECT_EQ(sparse.dts(), (std::vector<SimDuration>{1000, 10000}));
+}
+
+TEST(Engine, AdvanceClockRefusesToSkipDueEvents) {
+  Engine engine(1000);
+  engine.schedule_at(3000, [] {});
+  engine.advance_clock(2000);  // up to (not past) the event is fine
+  EXPECT_EQ(engine.now(), 2000);
+  EXPECT_DEATH(engine.advance_clock(4000), "due one-shot event");
+}
+
 TEST(Engine, SelfReschedulingTimerPattern) {
   Engine engine(1000);
   int fires = 0;
