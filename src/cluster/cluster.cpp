@@ -236,8 +236,14 @@ void Cluster::land_pod(Pod& pod) {
   sync_host(pod.host);  // a frozen target catches up before anything lands
   HostState& state = hosts_[static_cast<std::size_t>(pod.host)];
   ARV_ASSERT_MSG(state.up, "cannot land a pod on a down host");
-  pod.container = &state.runtime->run(container::pod_container(
-      pod.spec.name, pod.spec.resources, pod.spec.enable_view));
+  container::ContainerConfig cgroup_config = container::pod_container(
+      pod.spec.name, pod.spec.resources, pod.spec.enable_view);
+  if (pod.spec.cpu_mode == CpuMode::kBurstable) {
+    // Throttle-free mode: keep the shares weight, never set a CFS quota.
+    // Applied at every landing so the mode survives migration and failover.
+    cgroup_config.cfs_quota_us = kUnlimited;
+  }
+  pod.container = &state.runtime->run(cgroup_config);
   if (pod.factory) {
     pod.workload = pod.factory(*state.host, *pod.container);
   }
@@ -397,6 +403,28 @@ void Cluster::reboot_host(int host_index) {
   ARV_LOG(kInfo, "cluster", "host h%d rebooted", host_index);
 }
 
+void Cluster::cordon_host(int host_index, bool cordoned) {
+  ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
+  ARV_ASSERT(host_index >= 0 && host_index < host_count());
+  HostState& state = hosts_[static_cast<std::size_t>(host_index)];
+  if (state.cordoned == cordoned) {
+    return;
+  }
+  state.cordoned = cordoned;
+  ARV_LOG(kInfo, "cluster", "host h%d %s", host_index,
+          cordoned ? "cordoned" : "uncordoned");
+}
+
+int Cluster::active_hosts() const {
+  int active = 0;
+  for (const HostState& state : hosts_) {
+    if (state.up && !state.cordoned) {
+      ++active;
+    }
+  }
+  return active;
+}
+
 void Cluster::crash_pod(int pod_id) {
   ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
@@ -471,6 +499,7 @@ HostView Cluster::host_view(int index) const {
   view.slack_millicpu = state.window_slack * 1000 / config_.observe_window;
   view.free_memory = state.host->memory().free_memory();
   view.up = state.up;
+  view.cordoned = state.cordoned;
   return view;
 }
 

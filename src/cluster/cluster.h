@@ -208,6 +208,22 @@ class Cluster {
     return hosts_.at(static_cast<std::size_t>(host_index)).up;
   }
 
+  // --- cordon (cluster autoscaler) -----------------------------------------
+  /// Administratively (un)mark a host unschedulable. A cordoned host keeps
+  /// ticking and heartbeating — placement strategies just skip it, so it is
+  /// parked, not dead. The ClusterAutoscaler "removes" a host by cordoning
+  /// and draining it (the fleet's machine count is fixed at t=0; a parked
+  /// empty host quiesces, so the skip path makes it nearly free) and "adds"
+  /// one by uncordoning a parked machine.
+  void cordon_host(int host_index, bool cordoned);
+
+  bool host_cordoned(int host_index) const {
+    return hosts_.at(static_cast<std::size_t>(host_index)).cordoned;
+  }
+
+  /// Hosts currently up and not cordoned — the schedulable fleet size.
+  int active_hosts() const;
+
   /// Kill one running pod's process (the host stays up). The pod keeps its
   /// ledger slot on the host so a RestartManager can re-land it in place.
   void crash_pod(int pod_id);
@@ -288,6 +304,9 @@ class Cluster {
     /// False between crash_host and reboot_host. A down host accepts no
     /// pods; its engine still ticks (empty) to keep the fleet in lockstep.
     bool up = true;
+    /// Administratively unschedulable (see cordon_host). Orthogonal to `up`:
+    /// a cordoned host is healthy, so the FailureDetector must not bury it.
+    bool cordoned = false;
     // Slack observation window (integer accumulation; see window_slack()).
     CpuTime window_slack = 0;
     CpuTime accum_slack = 0;

@@ -9,17 +9,6 @@ namespace {
 
 using container::QosClass;
 
-/// Scoring resolution: allocation/headroom fractions in per-mille so every
-/// score stays in exact integer arithmetic (determinism across platforms).
-constexpr std::int64_t kScale = 1000;
-
-std::int64_t frac_of(std::int64_t part, std::int64_t whole) {
-  if (whole <= 0) {
-    return 0;
-  }
-  return std::clamp<std::int64_t>(part * kScale / whole, 0, kScale);
-}
-
 int qos_rank(const PodSpec& pod) {
   switch (container::qos_class(pod.resources)) {
     case QosClass::kGuaranteed:
@@ -48,16 +37,16 @@ class RequestsStrategy final : public PlacementStrategy {
     std::vector<std::int64_t> scores(hosts.size(), -1);
     for (std::size_t i = 0; i < hosts.size(); ++i) {
       const HostView& h = hosts[i];
-      if (!h.up) {
-        continue;  // crashed hosts schedule nothing
+      if (!h.schedulable()) {
+        continue;  // crashed or cordoned hosts schedule nothing
       }
       const std::int64_t cpu_after = h.requested_millicpu + r.request_millicpu;
       const Bytes mem_after = h.requested_memory + r.request_memory;
       if (cpu_after > h.capacity_millicpu || mem_after > h.capacity_memory) {
         continue;  // does not fit on declared requests
       }
-      scores[i] =
-          frac_of(cpu_after, h.capacity_millicpu) + frac_of(mem_after, h.capacity_memory);
+      scores[i] = frac_permille(cpu_after, h.capacity_millicpu) +
+                  frac_permille(mem_after, h.capacity_memory);
     }
     return pick_best(scores, rng);
   }
@@ -84,8 +73,8 @@ class EffectiveStrategy final : public PlacementStrategy {
     std::vector<std::int64_t> scores(hosts.size(), -1);
     for (std::size_t i = 0; i < hosts.size(); ++i) {
       const HostView& h = hosts[i];
-      if (!h.up) {
-        continue;  // crashed hosts schedule nothing
+      if (!h.schedulable()) {
+        continue;  // crashed or cordoned hosts schedule nothing
       }
       if (h.slack_millicpu < kMinSlackMillicpu) {
         continue;  // observed saturated: placing here only adds interference
@@ -96,9 +85,10 @@ class EffectiveStrategy final : public PlacementStrategy {
       // Headroom of the bottleneck resource, in per-mille of capacity. min()
       // rather than a sum: a host with idle CPUs but no free memory (or the
       // reverse) is a bad home whatever the other axis says.
-      const std::int64_t cpu_headroom = frac_of(h.slack_millicpu, h.capacity_millicpu);
+      const std::int64_t cpu_headroom =
+          frac_permille(h.slack_millicpu, h.capacity_millicpu);
       const std::int64_t mem_headroom =
-          frac_of(h.free_memory - r.request_memory, h.capacity_memory);
+          frac_permille(h.free_memory - r.request_memory, h.capacity_memory);
       scores[i] = std::min(cpu_headroom, mem_headroom);
     }
     return pick_best(scores, rng);
@@ -108,6 +98,22 @@ class EffectiveStrategy final : public PlacementStrategy {
 }  // namespace
 
 int PlacementStrategy::queue_rank(const PodSpec& /*pod*/) const { return 0; }
+
+std::int64_t frac_permille(std::int64_t part, std::int64_t whole) {
+  constexpr std::int64_t kScale = 1000;
+  if (whole <= 0 || part <= 0) {
+    return 0;
+  }
+  if (part >= whole) {
+    return kScale;
+  }
+  // part < whole here, so the quotient is < kScale; only the multiply can
+  // overflow int64 (at ~9.2 PB of byte headroom), hence the 128-bit detour.
+  // (__extension__ keeps -Wpedantic quiet about the non-ISO 128-bit type.)
+  __extension__ using Wide = unsigned __int128;
+  const Wide wide = static_cast<Wide>(part) * static_cast<Wide>(kScale);
+  return static_cast<std::int64_t>(wide / static_cast<Wide>(whole));
+}
 
 int pick_best(const std::vector<std::int64_t>& scores, Rng& rng) {
   std::int64_t best = -1;

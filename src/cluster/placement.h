@@ -31,12 +31,25 @@
 
 namespace arv::cluster {
 
+/// How the kubelet mapping translates the pod's CPU *limit* into cgroup
+/// knobs. "CPU-Limits kill Performance" (PAPERS.md) argues CFS quota is the
+/// wrong primitive: shares already guarantee the weighted fair split under
+/// contention, and a hard quota only converts idle cycles into throttle
+/// stalls. kBurstable keeps the shares weight but never sets cfs_quota, so a
+/// pod may soak up slack past its limit; kQuotaCapped is today's default.
+enum class CpuMode {
+  kQuotaCapped,  ///< limit_millicpu -> cfs_quota (kubelet default)
+  kBurstable,    ///< shares only, quota unlimited (throttle-free)
+};
+
 /// A pod to place: a name, the Kubernetes resource spec, the view toggle.
 struct PodSpec {
   std::string name;  ///< empty => the cluster assigns "pod-<N>"
   container::K8sResources resources;
   /// Create the adaptive resource view inside the pod's container.
   bool enable_view = true;
+  /// CPU-limit enforcement mode; survives migration/failover re-landings.
+  CpuMode cpu_mode = CpuMode::kQuotaCapped;
 };
 
 /// What a strategy sees about one host at decision time. Declared numbers
@@ -59,6 +72,13 @@ struct HostView {
   /// False while the host is crashed (fault injection). Down hosts are
   /// infeasible for every strategy, whatever their other signals say.
   bool up = true;
+  /// True while the cluster autoscaler holds the host out of service
+  /// (draining, or parked as spare capacity). Cordoned hosts still tick and
+  /// heartbeat — they are administratively unschedulable, not dead.
+  bool cordoned = false;
+
+  /// Strategies place only on hosts that are both alive and uncordoned.
+  bool schedulable() const { return up && !cordoned; }
 };
 
 class PlacementStrategy {
@@ -112,5 +132,11 @@ class PlacementRegistry {
 /// what kube-scheduler randomizes). `scores` uses < 0 for infeasible hosts.
 /// Returns -1 when every host is infeasible. Shared by the built-ins.
 int pick_best(const std::vector<std::int64_t>& scores, Rng& rng);
+
+/// part/whole in per-mille, clamped to [0, 1000]. Widens through 128-bit so
+/// byte-denominated inputs at Pi/Ei scale cannot overflow before the divide
+/// (int64 `part * 1000` wraps past ~9.2 PB). Shared by placement scoring and
+/// every cluster component that bands on slack/headroom fractions.
+std::int64_t frac_permille(std::int64_t part, std::int64_t whole);
 
 }  // namespace arv::cluster

@@ -112,15 +112,20 @@ void Rebalancer::tick(SimTime now, SimDuration dt) {
       // (nothing the rebalancer mutates before this point changes a view),
       // without re-deriving N views per scan.
       const HostView& view = cluster_.views()[static_cast<std::size_t>(i)];
+      if (view.cordoned) {
+        continue;  // the cluster autoscaler is parking or draining it
+      }
       if (view.slack_millicpu < config_.target_min_slack_millicpu ||
           view.free_memory < victim_bytes + config_.target_min_free) {
         continue;
       }
+      // frac_permille: byte-denominated free memory at Pi/Ei capacities
+      // would overflow a plain int64 multiply (same bug as placement's
+      // scoring, fixed together).
       const std::int64_t cpu_headroom =
-          view.slack_millicpu * 1000 / std::max<std::int64_t>(1, view.capacity_millicpu);
+          frac_permille(view.slack_millicpu, view.capacity_millicpu);
       const std::int64_t mem_headroom =
-          (view.free_memory - victim_bytes) * 1000 /
-          std::max<Bytes>(1, view.capacity_memory);
+          frac_permille(view.free_memory - victim_bytes, view.capacity_memory);
       const std::int64_t score = std::min(cpu_headroom, mem_headroom);
       if (score > target_score) {
         target = i;

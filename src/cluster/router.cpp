@@ -56,6 +56,10 @@ bool RequestRouter::add_replica(int pod_id) {
   return true;
 }
 
+void RequestRouter::set_rate(double arrivals_per_sec) {
+  config_.arrivals_per_sec = std::max(0.0, arrivals_per_sec);
+}
+
 server::WorkerPoolServer* RequestRouter::sink(int pod_id) const {
   Pod& pod = cluster_.pod(pod_id);
   return pod.workload == nullptr ? nullptr : pod.workload->request_sink();

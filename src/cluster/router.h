@@ -59,6 +59,15 @@ class RequestRouter : public sim::TickComponent {
   /// twice would double its arrivals and corrupt JSQ + aggregate stats.
   bool add_replica(int pod_id);
 
+  /// Change the open-loop arrival rate mid-run (diurnal curves, flash
+  /// crowds). The fractional accumulator carries over, so rate changes never
+  /// create or destroy requests. Negative rates clamp to zero.
+  void set_rate(double arrivals_per_sec);
+  double rate() const { return config_.arrivals_per_sec; }
+
+  /// Replicas currently enrolled (live or not; rotation never shrinks).
+  int replica_count() const { return static_cast<int>(replicas_.size()); }
+
   // --- sim::TickComponent (dispatched by Cluster) ---------------------------
   void tick(SimTime now, SimDuration dt) override;
   std::string name() const override { return "cluster.router"; }

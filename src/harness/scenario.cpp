@@ -156,6 +156,28 @@ void FleetScenario::enable_faults(cluster::FaultPlan plan) {
   cluster_.add_component(injector_.get());
 }
 
+void FleetScenario::enable_hpa(cluster::PodSpec replica_template,
+                               server::WebConfig web,
+                               cluster::HpaConfig config) {
+  ARV_ASSERT_MSG(hpa_ == nullptr, "hpa already enabled");
+  ARV_ASSERT_MSG(router_ != nullptr, "enable_router() before enable_hpa()");
+  hpa_ = std::make_unique<cluster::HorizontalAutoscaler>(
+      cluster_, *router_, std::move(replica_template), web, config);
+  cluster_.add_component(hpa_.get());
+}
+
+void FleetScenario::enable_vpa(cluster::VpaConfig config) {
+  ARV_ASSERT_MSG(vpa_ == nullptr, "vpa already enabled");
+  vpa_ = std::make_unique<cluster::VerticalRecommender>(cluster_, config);
+  cluster_.add_component(vpa_.get());
+}
+
+void FleetScenario::enable_cluster_autoscaler(cluster::CaConfig config) {
+  ARV_ASSERT_MSG(ca_ == nullptr, "cluster autoscaler already enabled");
+  ca_ = std::make_unique<cluster::ClusterAutoscaler>(cluster_, config);
+  cluster_.add_component(ca_.get());
+}
+
 void FleetScenario::enable_rebalancer(cluster::RebalanceConfig config) {
   ARV_ASSERT_MSG(rebalancer_ == nullptr, "rebalancer already enabled");
   rebalancer_ = std::make_unique<cluster::Rebalancer>(cluster_, config);

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/autoscale.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/faults.h"
 #include "src/cluster/rebalancer.h"
@@ -166,6 +167,20 @@ class FleetScenario {
   /// plan full of skips tests nothing).
   void enable_faults(cluster::FaultPlan plan);
 
+  /// Scale one service's replica count from router-observed demand vs
+  /// per-replica effective capacity. Requires enable_router() first; new
+  /// replicas clone `replica_template` (cpu_mode included) and auto-enroll.
+  /// Adopt seed replicas via hpa()->adopt(pod_id).
+  void enable_hpa(cluster::PodSpec replica_template, server::WebConfig web,
+                  cluster::HpaConfig config = {});
+
+  /// Rewrite every pod's cgroup limits live from observed usage percentiles.
+  void enable_vpa(cluster::VpaConfig config = {});
+
+  /// Size the fleet: uncordon parked hosts under load, cordon + drain idle
+  /// ones. Park spare machines with cluster().cordon_host(i, true) first.
+  void enable_cluster_autoscaler(cluster::CaConfig config = {});
+
   void run(SimDuration duration) { cluster_.run_for(duration); }
 
   cluster::Cluster& cluster() { return cluster_; }
@@ -175,6 +190,9 @@ class FleetScenario {
   cluster::FailureDetector* detector() { return detector_.get(); }
   cluster::RestartManager* restarts() { return restarts_.get(); }
   cluster::FaultInjector* injector() { return injector_.get(); }
+  cluster::HorizontalAutoscaler* hpa() { return hpa_.get(); }
+  cluster::VerticalRecommender* vpa() { return vpa_.get(); }
+  cluster::ClusterAutoscaler* cluster_autoscaler() { return ca_.get(); }
 
  private:
   cluster::Cluster cluster_;
@@ -184,6 +202,9 @@ class FleetScenario {
   std::unique_ptr<cluster::FailureDetector> detector_;
   std::unique_ptr<cluster::RestartManager> restarts_;
   std::unique_ptr<cluster::FaultInjector> injector_;
+  std::unique_ptr<cluster::HorizontalAutoscaler> hpa_;
+  std::unique_ptr<cluster::VerticalRecommender> vpa_;
+  std::unique_ptr<cluster::ClusterAutoscaler> ca_;
 };
 
 /// Samples one JVM's heap geometry every `interval` — Figure 12's series.

@@ -550,6 +550,21 @@ std::optional<std::int64_t> VirtualSysfs::trace_counter_for(
   return std::nullopt;
 }
 
+void VirtualSysfs::register_control_file(const std::string& path,
+                                         FileProvider provider) {
+  ARV_ASSERT_MSG(path.rfind("/sys/arv/", 0) == 0,
+                 "control files live under /sys/arv/");
+  // No generation counter: control-plane counters change every decision
+  // round, so caching the render would only serve stale values.
+  fs_.register_file(path, std::move(provider));
+}
+
+void VirtualSysfs::remove_control_subtree(const std::string& prefix) {
+  ARV_ASSERT_MSG(prefix.rfind("/sys/arv/", 0) == 0,
+                 "control files live under /sys/arv/");
+  fs_.remove_subtree(prefix);
+}
+
 void VirtualSysfs::attach_trace(const obs::TraceRecorder* trace) {
   trace_ = trace;
   if (trace_ == nullptr) {

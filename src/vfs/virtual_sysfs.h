@@ -59,6 +59,16 @@ class VirtualSysfs {
   /// cgroup-destroyed event.
   void export_cgroup_files(cgroup::CgroupId id);
 
+  /// Register a cluster-level control-plane file (read-only, uncached — the
+  /// provider is consulted on every read). The autoscalers publish their
+  /// decision counters under /sys/arv/autoscale/ and /sys/arv/vpa/ on a
+  /// designated host's sysfs through this; path must start with "/sys/arv/".
+  void register_control_file(const std::string& path, FileProvider provider);
+
+  /// Remove every control file under `prefix` (component teardown — the
+  /// providers capture their owner, so they must not outlive it).
+  void remove_control_subtree(const std::string& prefix);
+
   /// Attach the observability layer: exports /sys/arv/trace/series and
   /// /sys/arv/trace/samples host-wide. The per-container live counters under
   /// /sys/arv/trace/ (e_cpu, e_mem, bounds, update counts) are always

@@ -185,5 +185,56 @@ TEST(EffectiveStrategy, AcceptsOnOvercommittedButIdleHost) {
   EXPECT_GE(scheduler.place("effective", spec(1000, 1 * GiB)), 0);
 }
 
+// --- frac_permille at storage-class magnitudes -------------------------------
+// Regression: the old implementation computed part * 1000 / whole in int64,
+// which wraps once part exceeds ~9.2 PB (int64_max / 1000) — exactly the
+// byte scale of free_memory / capacity_memory on large-storage hosts, where
+// the garbage ratio silently corrupted every memory-headroom score.
+
+constexpr Bytes TiB = 1024 * GiB;
+constexpr Bytes PiB = 1024 * TiB;
+constexpr Bytes EiB = 1024 * PiB;
+
+TEST(FracPermille, SurvivesPetabyteMagnitudes) {
+  // part * 1000 overflows int64 for every case below; the ratios must still
+  // be exact.
+  EXPECT_EQ(frac_permille(512 * PiB, 1024 * PiB), 500);
+  EXPECT_EQ(frac_permille(1 * EiB, 2 * EiB), 500);
+  EXPECT_EQ(frac_permille(3 * EiB, 4 * EiB), 750);
+  EXPECT_EQ(frac_permille(7 * PiB, 8 * PiB), 875);
+  EXPECT_EQ(frac_permille(10 * PiB, 1 * EiB), 9);
+}
+
+TEST(FracPermille, ClampsDegenerateInputs) {
+  EXPECT_EQ(frac_permille(0, 100), 0);
+  EXPECT_EQ(frac_permille(-5, 100), 0);
+  EXPECT_EQ(frac_permille(100, 0), 0);
+  EXPECT_EQ(frac_permille(100, -1), 0);
+  EXPECT_EQ(frac_permille(200, 100), 1000);
+  EXPECT_EQ(frac_permille(100, 100), 1000);
+  EXPECT_EQ(frac_permille(7, 9), 777);  // truncation, not rounding
+}
+
+TEST(EffectiveStrategy, ScoresCorrectlyAtPetabyteCapacities) {
+  // Two hand-built views whose *memory* headrooms decide the winner, at a
+  // capacity where the old math overflowed. h1 has more free bytes but a
+  // tighter CPU bottleneck; h0 must win on min(cpu, mem) headroom.
+  auto strategy = PlacementRegistry::instance().make("effective");
+  ASSERT_NE(strategy, nullptr);
+  HostView h0;
+  h0.index = 0;
+  h0.capacity_millicpu = 64000;
+  h0.capacity_memory = 1 * EiB;
+  h0.slack_millicpu = 32000;      // 500 permille
+  h0.free_memory = 768 * PiB;     // ~750 permille -> score 500
+  HostView h1 = h0;
+  h1.index = 1;
+  h1.slack_millicpu = 16000;      // 250 permille
+  h1.free_memory = 896 * PiB;     // ~875 permille -> score 250
+  Rng rng(1);
+  const PodSpec pod = spec(1000, 1 * GiB);
+  EXPECT_EQ(strategy->select(pod, {h0, h1}, rng), 0);
+}
+
 }  // namespace
 }  // namespace arv::cluster

@@ -276,5 +276,47 @@ TEST(FleetScenario, RecoveryKeepsServiceAvailableThroughHostCrash) {
       << "one replica survived the crash; nothing should be unroutable";
 }
 
+TEST(FailureDetector, SimultaneousDeathsDoNotStackRefugeesOnOneTarget) {
+  // Regression: the detector used to re-read host_views() after every
+  // failover inside one evacuation round. The re-read restored the target's
+  // *observed* slack (the refugee just landed and has burned nothing yet),
+  // so every refugee of the round scored the same idle host best and piled
+  // onto it, blowing straight past the headroom that made it attractive.
+  // The fix claims each landing against the round's working views instead.
+  Cluster cluster;
+  cluster.add_host(small_host(8, 8 * GiB));  // dies
+  cluster.add_host(small_host(8, 8 * GiB));  // dies
+  cluster.add_host(small_host(8, 8 * GiB));  // idle: 8000m observed slack
+  cluster.add_host(small_host(8, 8 * GiB));  // busy: ~2000m observed slack
+  const int a = cluster.create_pod(0, {"a", res(7000, 512 * MiB)},
+                                   cpu_hog_workload(7, 600 * sec));
+  const int b = cluster.create_pod(1, {"b", res(7000, 512 * MiB)},
+                                   cpu_hog_workload(7, 600 * sec));
+  cluster.create_pod(3, {"busy", res(1000, 512 * MiB)},
+                     cpu_hog_workload(6, 600 * sec));
+  DetectorConfig config;
+  config.period = 100 * msec;
+  config.miss_threshold = 2;
+  FailureDetector detector(cluster, config);
+  cluster.add_component(&detector);
+  cluster.run_for(1 * sec);  // observation windows see the real usage
+
+  // Both hosts die in the same tick; both pods race for new homes in the
+  // same evacuation round.
+  cluster.crash_host(0);
+  cluster.crash_host(1);
+  cluster.run_for(1 * sec);
+
+  ASSERT_TRUE(cluster.pod(a).running());
+  ASSERT_TRUE(cluster.pod(b).running());
+  EXPECT_EQ(cluster.failovers(), 2u);
+  // The first refugee takes the idle host and consumes its headroom; the
+  // claimed view must push the second to the busy-but-feasible one.
+  EXPECT_NE(cluster.pod(a).host, cluster.pod(b).host)
+      << "both refugees stacked onto one target from a stale view";
+  EXPECT_EQ(cluster.pod(a).host, 2);
+  EXPECT_EQ(cluster.pod(b).host, 3);
+}
+
 }  // namespace
 }  // namespace arv::cluster
