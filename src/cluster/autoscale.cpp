@@ -29,18 +29,6 @@ T nearest_rank(const std::deque<T>& window, int p) {
   return sorted[std::min(index, sorted.size() - 1)];
 }
 
-/// Charge a placed/landing pod against a working view so the next placement
-/// decision in the same round sees post-landing headroom instead of the
-/// start-of-round snapshot (same adjustment the FailureDetector applies).
-void claim_view(HostView& view, const container::K8sResources& r) {
-  view.requested_millicpu += r.request_millicpu;
-  view.requested_memory += r.request_memory;
-  view.slack_millicpu =
-      std::max<std::int64_t>(0, view.slack_millicpu - r.request_millicpu);
-  view.free_memory = std::max<Bytes>(0, view.free_memory - r.request_memory);
-  ++view.pods;
-}
-
 /// The designated control-plane host whose sysfs serves the cluster-level
 /// /sys/arv/autoscale/ and /sys/arv/vpa/ counter files.
 constexpr int kControlHost = 0;
@@ -73,6 +61,11 @@ HorizontalAutoscaler::HorizontalAutoscaler(Cluster& cluster,
   ARV_ASSERT_MSG(strategy_ != nullptr, "unknown placement strategy");
   if (template_.name.empty()) {
     template_.name = "hpa";
+  }
+  if (template_.service.empty()) {
+    // Replicas get distinct pod names (<name>-<N>); the shared service ties
+    // them together for the profile machinery and "profile" placement.
+    template_.service = template_.name;
   }
   // Replicas behind the router must not self-generate traffic.
   web_.arrivals_per_sec = 0;
@@ -163,7 +156,7 @@ std::int64_t HorizontalAutoscaler::effective_millicpu_per_replica() const {
   return 1000;  // one core
 }
 
-int HorizontalAutoscaler::place_replica(std::vector<HostView>& views) {
+int HorizontalAutoscaler::place_replica(FleetView& views) {
   PodSpec spec = template_;
   spec.name = template_.name + "-" + std::to_string(created_);
   const int target = strategy_->select(spec, views, cluster_.rng());
@@ -174,7 +167,7 @@ int HorizontalAutoscaler::place_replica(std::vector<HostView>& views) {
   const int pod = cluster_.create_pod(target, spec, web_replica(web_));
   managed_.push_back(pod);
   router_.add_replica(pod);
-  claim_view(views[static_cast<std::size_t>(target)], spec.resources);
+  views.claim(target, spec);
   ARV_LOG(kInfo, "hpa", "%s scaled up: pod %d -> h%d", template_.name.c_str(),
           pod, target);
   return pod;
@@ -218,7 +211,10 @@ void HorizontalAutoscaler::tick(SimTime now, SimDuration /*dt*/) {
       return;
     }
     const int add = std::min(desired - current, config_.max_surge);
-    std::vector<HostView> views = cluster_.host_views();
+    // A surge places several replicas in one round: copy the fleet snapshot
+    // and claim() each landing so later replicas see post-landing headroom
+    // (and, under "profile", their just-placed siblings).
+    FleetView views = cluster_.fleet_view();
     for (int i = 0; i < add; ++i) {
       if (place_replica(views) < 0) {
         ++deferred_;  // no schedulable host fits; retry next round
@@ -504,7 +500,7 @@ void ClusterAutoscaler::continue_drain(SimTime now) {
   // The draining host is cordoned, so the strategy can never bounce a pod
   // back onto it. Failed/in-flight pods resolve through their own paths
   // first; pods_on() keeps the drain open until the ledger is empty.
-  std::vector<HostView> views = cluster_.host_views();
+  FleetView views = cluster_.fleet_view();
   int budget = config_.max_drain_migrations_per_round;
   for (int id = 0; id < cluster_.pod_count() && budget > 0; ++id) {
     const Pod& pod = cluster_.pod(id);
@@ -519,7 +515,7 @@ void ClusterAutoscaler::continue_drain(SimTime now) {
     ARV_LOG(kInfo, "ca", "draining h%d: migrating pod %d -> h%d", draining_,
             id, target);
     cluster_.migrate_pod(id, target);
-    claim_view(views[static_cast<std::size_t>(target)], pod.spec.resources);
+    views.claim(target, pod.spec);
     ++drain_migrations_;
     --budget;
   }
@@ -531,17 +527,15 @@ void ClusterAutoscaler::tick(SimTime now, SimDuration /*dt*/) {
   }
 
   // Fleet-wide effective slack over the *active* hosts (parked and dead
-  // machines are not capacity). The arena is fresh — components dispatch
-  // after refresh_views each tick.
-  std::vector<HostView> fallback;
-  const std::vector<HostView>* views = &cluster_.views();
-  if (views->empty()) {
-    fallback = cluster_.host_views();
-    views = &fallback;
+  // machines are not capacity). The published snapshot is fresh —
+  // components dispatch after the boundary fleet refresh each tick.
+  if (cluster_.views().empty()) {
+    (void)cluster_.fleet_view();  // tests tick before the first step
   }
+  const std::vector<HostView>& views = cluster_.views();
   std::int64_t slack = 0;
   std::int64_t capacity = 0;
-  for (const HostView& view : *views) {
+  for (const HostView& view : views) {
     if (!view.schedulable()) {
       continue;
     }
@@ -601,7 +595,7 @@ void ClusterAutoscaler::tick(SimTime now, SimDuration /*dt*/) {
     high_rounds_ = 0;
     int victim = -1;
     int fewest = std::numeric_limits<int>::max();
-    for (const HostView& view : *views) {
+    for (const HostView& view : views) {
       // <= prefers the highest index among ties: late machines leave first,
       // and the control-plane host (h0) leaves last.
       if (view.schedulable() && view.pods <= fewest) {

@@ -108,7 +108,7 @@ class HorizontalAutoscaler : public sim::TickComponent {
   std::uint64_t deferred() const { return deferred_; }
 
  private:
-  int place_replica(std::vector<HostView>& views);
+  int place_replica(FleetView& views);
   /// Mean effective capacity of the running replicas, in milli-CPUs; falls
   /// back to the template's declared CPU when no replica has a live view.
   std::int64_t effective_millicpu_per_replica() const;

@@ -4,10 +4,21 @@
 #include <chrono>
 #include <numeric>
 
+#include "src/cluster/profile.h"
 #include "src/util/assert.h"
 #include "src/util/log.h"
 
 namespace arv::cluster {
+namespace {
+
+/// The service a pod's fleet row files under (same fallback as
+/// ProfileStore::service_of — duplicated to keep the row builder free of a
+/// profile-store dependency when none is attached).
+const std::string& service_key(const Pod& pod) {
+  return pod.spec.service.empty() ? pod.spec.name : pod.spec.service;
+}
+
+}  // namespace
 
 Cluster::Cluster(ClusterConfig config) : config_(config), rng_(config.seed) {
   ARV_ASSERT(config_.tick > 0);
@@ -79,6 +90,26 @@ int Cluster::add_host(container::HostConfig host_config) {
   if (trace_ != nullptr) {
     register_host_trace(index);
   }
+  if (index == 0) {
+    // The fleet snapshot publishes on host 0's sysfs (the control host, same
+    // convention as the autoscalers). Renders cache on the fleet generation:
+    // an idle fleet serves every read from the cached string.
+    vfs::VirtualSysfs& sysfs = hosts_[0].host->sysfs();
+    sysfs.register_control_file(
+        "/sys/arv/fleet/hosts", [this] { return cur_.render_hosts(); },
+        &fleet_gen_);
+    sysfs.register_control_file(
+        "/sys/arv/fleet/pods", [this] { return cur_.render_pods(); },
+        &fleet_gen_);
+    // The diff file shows the changes that produced the current generation:
+    // current published snapshot vs the previous tick boundary's.
+    sysfs.register_control_file(
+        "/sys/arv/fleet/diff", [this] { return cur_.diff(prev_).render(); },
+        &fleet_gen_);
+    sysfs.register_control_file(
+        "/sys/arv/fleet/generation",
+        [this] { return std::to_string(fleet_gen_) + "\n"; }, &fleet_gen_);
+  }
   return index;
 }
 
@@ -116,10 +147,10 @@ void Cluster::step() {
   // hosts/pods in index order, so the merge is thread-count-invariant.
   observe_slack();
   // Migrations land before components run, so a rebalancer/router round
-  // never observes a pod that should already have arrived; the view arena
-  // refreshes after landing so it reflects the landed state.
+  // never observes a pod that should already have arrived; the fleet
+  // snapshot refreshes after landing so it reflects the landed state.
   settle_migrations();
-  refresh_views();
+  refresh_fleet(/*boundary=*/true);
   dispatch_components();
   if (trace_ != nullptr) {
     trace_->tick(now_, config_.tick);
@@ -208,6 +239,10 @@ void Cluster::observe_slack() {
       state.window_slack = state.accum_slack;
       state.accum_slack = 0;
     }
+    // Every host's slack_millicpu just changed: the next fleet refresh must
+    // re-observe every row, frozen hosts included.
+    window_rolled_ = true;
+    fleet_dirty_ = true;
   }
 }
 
@@ -234,6 +269,7 @@ int Cluster::create_pod(int host_index, PodSpec spec, WorkloadFactory factory) {
 
 void Cluster::land_pod(Pod& pod) {
   sync_host(pod.host);  // a frozen target catches up before anything lands
+  mark_host_dirty(pod.host);
   HostState& state = hosts_[static_cast<std::size_t>(pod.host)];
   ARV_ASSERT_MSG(state.up, "cannot land a pod on a down host");
   container::ContainerConfig cgroup_config = container::pod_container(
@@ -267,6 +303,7 @@ void Cluster::stop_pod(int pod_id) {
   Pod& pod = pods_.at(static_cast<std::size_t>(pod_id));
   ARV_ASSERT_MSG(pod.host >= 0, "pod is already stopped");
   sync_host(pod.host);
+  mark_host_dirty(pod.host);
   if (pod.running()) {
     harvest_stats(pod);
     pod.workload.reset();  // detaches from the source scheduler
@@ -298,6 +335,8 @@ void Cluster::migrate_pod(int pod_id, int target_host) {
   ARV_ASSERT_MSG(pod.running(), "cannot migrate a stopped or in-flight pod");
   ARV_ASSERT_MSG(pod.host != target_host, "pod is already on the target host");
   ARV_ASSERT_MSG(host_up(target_host), "cannot migrate toward a down host");
+  mark_host_dirty(pod.host);
+  mark_host_dirty(target_host);
   HostState& source = hosts_[static_cast<std::size_t>(pod.host)];
   // Cost model: freeze grows with the state that must move. Read before the
   // container (and its memory charges) is torn down.
@@ -350,6 +389,9 @@ void Cluster::settle_migrations() {
 }
 
 void Cluster::fail_pod(Pod& pod) {
+  if (pod.host >= 0) {
+    mark_host_dirty(pod.host);
+  }
   harvest_stats(pod);
   pod.workload.reset();
   if (pod.container != nullptr) {
@@ -364,6 +406,7 @@ void Cluster::crash_host(int host_index) {
   ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   ARV_ASSERT(host_index >= 0 && host_index < host_count());
   sync_host(host_index);  // a crash observes a host at cluster time, always
+  mark_host_dirty(host_index);
   HostState& state = hosts_[static_cast<std::size_t>(host_index)];
   ARV_ASSERT_MSG(state.up, "host is already down");
   state.up = false;
@@ -395,6 +438,7 @@ void Cluster::reboot_host(int host_index) {
   ARV_ASSERT_MSG(!in_host_phase_, "mutations are serial-phase only");
   ARV_ASSERT(host_index >= 0 && host_index < host_count());
   sync_host(host_index);
+  mark_host_dirty(host_index);
   HostState& state = hosts_[static_cast<std::size_t>(host_index)];
   ARV_ASSERT_MSG(!state.up, "host is not down");
   state.up = true;
@@ -410,6 +454,7 @@ void Cluster::cordon_host(int host_index, bool cordoned) {
   if (state.cordoned == cordoned) {
     return;
   }
+  mark_host_dirty(host_index);
   state.cordoned = cordoned;
   ARV_LOG(kInfo, "cluster", "host h%d %s", host_index,
           cordoned ? "cordoned" : "uncordoned");
@@ -452,6 +497,7 @@ void Cluster::failover_pod(int pod_id, int target_host) {
   ARV_ASSERT_MSG(pod.failed && pod.host >= 0, "pod is not awaiting failover");
   ARV_ASSERT_MSG(host_up(target_host), "cannot fail over to a down host");
   ARV_ASSERT_MSG(pod.host != target_host, "failover target is the pod's host");
+  mark_host_dirty(pod.host);
   HostState& source = hosts_[static_cast<std::size_t>(pod.host)];
   source.requested_millicpu -= pod.spec.resources.request_millicpu;
   source.requested_memory -= pod.spec.resources.request_memory;
@@ -503,20 +549,114 @@ HostView Cluster::host_view(int index) const {
   return view;
 }
 
-void Cluster::refresh_views() {
-  views_.resize(hosts_.size());
-  for (int i = 0; i < host_count(); ++i) {
-    views_[static_cast<std::size_t>(i)] = host_view(i);
+const FleetView& Cluster::fleet_view() {
+  ARV_ASSERT_MSG(!in_host_phase_, "fleet reads are serial-phase only");
+  if (fleet_dirty_) {
+    refresh_fleet(/*boundary=*/false);
+  }
+  return cur_;
+}
+
+void Cluster::invalidate_fleet_view() {
+  fleet_dirty_ = true;
+  for (HostState& state : hosts_) {
+    ++state.view_gen;
   }
 }
 
-std::vector<HostView> Cluster::host_views() const {
-  std::vector<HostView> views;
-  views.reserve(hosts_.size());
-  for (int i = 0; i < host_count(); ++i) {
-    views.push_back(host_view(i));
+void Cluster::attach_profiles(const ProfileStore* profiles) {
+  profiles_ = profiles;
+  invalidate_fleet_view();
+}
+
+void Cluster::refresh_fleet(bool boundary) {
+  // Rotate buffers so `old` holds the last published content and cur_ holds
+  // recycled allocations to overwrite. Boundary refreshes publish into the
+  // prev_/cur_ pair (diff's per-tick baseline); lazy mid-tick refreshes
+  // recycle scratch_ and leave prev_ untouched.
+  FleetView& old = boundary ? prev_ : scratch_;
+  std::swap(old, cur_);
+  rebuild_fleet(old);
+  if (!cur_.same_content(old)) {
+    ++fleet_gen_;
   }
-  return views;
+  cur_.generation = fleet_gen_;
+  cur_.at = now_;
+  cur_.profiles = profiles_;
+  fleet_dirty_ = false;
+  window_rolled_ = false;
+  for (HostState& state : hosts_) {
+    state.refreshed_gen = state.view_gen;
+  }
+}
+
+void Cluster::rebuild_fleet(const FleetView& old) {
+  const std::size_t host_count_sz = hosts_.size();
+  cur_.hosts.resize(host_count_sz);
+  // A host row is re-observed only when something could have changed it:
+  // the host stepped this tick, a mutator (or conservative non-const
+  // accessor) touched it, or the slack window rolled for everyone. A frozen,
+  // untouched host's observables are constant by the quiescence invariant,
+  // so its row — and its pods' rows — are copied from the old snapshot.
+  std::vector<char> rebuilt(host_count_sz, 0);
+  for (std::size_t i = 0; i < host_count_sz; ++i) {
+    const HostState& state = hosts_[i];
+    const bool stepped = state.host->now() == now_;
+    const bool touched = state.view_gen != state.refreshed_gen;
+    if (!stepped && !touched && !window_rolled_ &&
+        i < old.hosts.size()) {
+      cur_.hosts[i] = old.hosts[i];
+      ++rows_reused_;
+    } else {
+      cur_.hosts[i] = host_view(static_cast<int>(i));
+      rebuilt[i] = 1;
+    }
+  }
+  cur_.services = old.services;  // keeps copied rows' service indices valid
+  cur_.pods.resize(pods_.size());
+  for (std::size_t p = 0; p < pods_.size(); ++p) {
+    const Pod& pod = pods_[p];
+    const PodRow* before = p < old.pods.size() ? &old.pods[p] : nullptr;
+    const bool new_host_rebuilt =
+        pod.host >= 0 && rebuilt[static_cast<std::size_t>(pod.host)] != 0;
+    const bool old_host_rebuilt =
+        before != nullptr && before->host >= 0 &&
+        before->host < static_cast<int>(host_count_sz) &&
+        rebuilt[static_cast<std::size_t>(before->host)] != 0;
+    if (before != nullptr && before->host == pod.host && !new_host_rebuilt &&
+        !old_host_rebuilt) {
+      cur_.pods[p] = *before;
+      ++rows_reused_;
+      continue;
+    }
+    PodRow row;
+    row.id = pod.id;
+    row.host = pod.host;
+    row.service = cur_.intern_service(service_key(pod));
+    row.request_millicpu = pod.spec.resources.request_millicpu;
+    row.request_memory = pod.spec.resources.request_memory;
+    row.running = pod.running();
+    row.in_flight = pod.in_flight();
+    row.failed = pod.failed;
+    row.placed_at = pod.placed_at;
+    if (pod.running()) {
+      // Safe without syncing: committed bytes are constant while frozen.
+      row.committed = hosts_[static_cast<std::size_t>(pod.host)]
+                          .host->memory()
+                          .committed(pod.container->cgroup());
+    }
+    if (profiles_ != nullptr) {
+      const PodProfile profile = profiles_->profile(pod.id);
+      row.cpu_p50_millicpu = profile.cpu_p50_millicpu;
+      row.cpu_p95_millicpu = profile.cpu_p95_millicpu;
+      row.mem_p50 = profile.mem_p50;
+      row.mem_p95 = profile.mem_p95;
+      row.burst_permille = profile.burst_permille;
+      row.samples = profile.samples;
+    }
+    cur_.pods[p] = row;
+  }
+  cur_.rebuild_pod_index();
 }
 
 }  // namespace arv::cluster

@@ -11,10 +11,11 @@
 //      are skipped entirely: their clock freezes and the interval is
 //      replayed analytically on first touch (sync-on-touch).
 //   2. The *serial phases*, on the calling thread in a fixed order: slack
-//      window accounting, the HostView arena refresh, due pod migrations,
-//      cluster-level components (rebalancer, router, fault machinery), and
-//      the trace sample. Every serial stage iterates hosts and pods in
-//      index order.
+//      window accounting, due pod migrations, the FleetView snapshot refresh
+//      (fleet_view.h — the one cluster-state object every fleet-wide
+//      consumer reads), cluster-level components (rebalancer, router, fault
+//      machinery), and the trace sample. Every serial stage iterates hosts
+//      and pods in index order.
 //
 // Because the shard assignment never affects *what* a host computes — only
 // *which thread* computes it — and every cross-host interaction happens in
@@ -37,7 +38,7 @@
 #include <string>
 #include <vector>
 
-#include "src/cluster/placement.h"
+#include "src/cluster/fleet_view.h"
 #include "src/container/container.h"
 #include "src/container/host.h"
 #include "src/obs/trace_recorder.h"
@@ -147,13 +148,18 @@ class Cluster {
 
   /// Access a host (or its runtime). Syncs a frozen host's clock first
   /// (sync-on-touch), so callers always observe a host at cluster time —
-  /// the single serialization point the fault machinery relies on.
+  /// the single serialization point the fault machinery relies on. The
+  /// non-const overloads conservatively mark the host's fleet row stale
+  /// (the caller may mutate anything behind the reference); over-marking
+  /// costs a row rebuild, never a generation bump — see fleet_view().
   container::Host& host(int index) {
     sync_host(index);
+    mark_host_dirty(index);
     return *hosts_.at(static_cast<std::size_t>(index)).host;
   }
   container::ContainerRuntime& runtime(int index) {
     sync_host(index);
+    mark_host_dirty(index);
     return *hosts_.at(static_cast<std::size_t>(index)).runtime;
   }
 
@@ -248,15 +254,45 @@ class Cluster {
   /// Correct for frozen hosts without syncing them (their observables are
   /// constant while frozen).
   HostView host_view(int index) const;
-  std::vector<HostView> host_views() const;
 
-  /// The per-tick HostView arena, refreshed at the barrier right after the
-  /// host phase each tick. Placement-batch consumers (ClusterScheduler,
-  /// FailureDetector) must keep calling host_views() — mid-batch ledger
-  /// updates are invisible here until the next tick — but per-round readers
-  /// (the rebalancer, the trace) read this without rebuilding N views.
-  /// Empty until the first step.
-  const std::vector<HostView>& views() const { return views_; }
+  /// The shared cluster snapshot (DESIGN.md §13): per-host effective views
+  /// plus flattened per-pod rows, assembled in the serial phase and
+  /// generation-stamped. Lazily refreshed — if anything mutated the fleet
+  /// since the last refresh, the snapshot is rebuilt first (reusing rows of
+  /// provably-unchanged hosts from the previous snapshot), so the returned
+  /// view is always current. The generation advances only when the *content*
+  /// changed. This is what every fleet-wide consumer (placement, detector,
+  /// autoscalers, router) reads; consumers that place several pods in one
+  /// round copy it and claim() each landing. Serial phases only.
+  const FleetView& fleet_view();
+
+  /// The snapshot published at the previous tick boundary (what diff renders
+  /// against). Empty before the second step.
+  const FleetView& previous_fleet_view() const { return prev_; }
+
+  /// The fleet snapshot's content generation (backs /sys/arv/fleet/ render
+  /// caching — an idle fleet re-renders nothing).
+  vfs::Generation fleet_generation() const { return fleet_gen_; }
+
+  /// Host/pod rows copied from the previous snapshot instead of re-observed,
+  /// cumulative. Not traced: the count varies with the idle-skip setting.
+  std::uint64_t fleet_rows_reused() const { return rows_reused_; }
+
+  /// Force the next fleet_view() to re-observe every row (profile updates,
+  /// tests). Never bumps the generation unless content actually changed.
+  void invalidate_fleet_view();
+
+  /// Attach (or detach, with nullptr) a ProfileStore whose percentiles the
+  /// pod rows carry. Called by ProfileStore's constructor/destructor.
+  void attach_profiles(const ProfileStore* profiles);
+  const ProfileStore* profiles() const { return profiles_; }
+
+  /// The published per-host arena — cur snapshot's host rows, refreshed at
+  /// the tick boundary (and whenever a consumer pulled a fresh fleet_view()
+  /// mid-round). Per-round readers that want the boundary view without
+  /// forcing a refresh (the rebalancer's capacity scan, the autoscaler's
+  /// slack band, the trace) read this. Empty until the first step.
+  const std::vector<HostView>& views() const { return cur_.hosts; }
 
   // --- parallel host phase --------------------------------------------------
   /// Resolved worker count (config threads, with 0 mapped to auto).
@@ -311,6 +347,13 @@ class Cluster {
     CpuTime window_slack = 0;
     CpuTime accum_slack = 0;
     CpuTime last_total_slack = 0;
+    /// Fleet-row staleness: view_gen bumps on every (potential) mutation of
+    /// this host, refreshed_gen records view_gen at the last row rebuild.
+    /// Unequal (or a host that stepped this tick, or a rolled slack window)
+    /// => the refresh re-observes the row; equal => the row is copied from
+    /// the previous snapshot. Starts unequal so the first refresh builds.
+    std::uint64_t view_gen = 1;
+    std::uint64_t refreshed_gen = 0;
   };
   struct PendingMigration {
     SimTime due = 0;
@@ -327,8 +370,18 @@ class Cluster {
   void host_phase_shard(int shard);
   /// Catch a frozen host's clock up to cluster time (no-op when current).
   void sync_host(int index);
+  void mark_host_dirty(int index) {
+    fleet_dirty_ = true;
+    ++hosts_.at(static_cast<std::size_t>(index)).view_gen;
+  }
   void observe_slack();
-  void refresh_views();
+  /// Rebuild the fleet snapshot. `boundary` refreshes publish: prev_/cur_
+  /// swap so diff() has a stable per-tick baseline. Mid-tick (lazy)
+  /// refreshes recycle scratch_ and leave prev_ untouched.
+  void refresh_fleet(bool boundary);
+  /// Assemble cur_ from live state, copying rows of unchanged hosts (and
+  /// their pods) from `old` instead of re-observing them.
+  void rebuild_fleet(const FleetView& old);
   void settle_migrations();
   void dispatch_components();
   void land_pod(Pod& pod);
@@ -352,7 +405,18 @@ class Cluster {
   std::int64_t host_phase_wall_us_ = 0;
   std::int64_t last_step_wall_us_ = 0;
   std::uint64_t steps_ = 0;
-  std::vector<HostView> views_;  ///< per-tick arena; see views()
+  // Fleet snapshot triple-buffer: cur_ is the live snapshot, prev_ the one
+  // published at the previous tick boundary, scratch_ recycles allocations
+  // for mid-tick refreshes. fleet_gen_ is address-stable — the /sys/arv/
+  // fleet/ pseudo-files cache renders on a pointer to it.
+  FleetView cur_;
+  FleetView prev_;
+  FleetView scratch_;
+  vfs::Generation fleet_gen_ = 0;
+  bool fleet_dirty_ = true;
+  bool window_rolled_ = false;
+  std::uint64_t rows_reused_ = 0;
+  const ProfileStore* profiles_ = nullptr;
   std::vector<HostState> hosts_;
   std::vector<Pod> pods_;
   std::vector<PendingMigration> pending_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/cluster/fleet_view.h"
+#include "src/cluster/profile.h"
 #include "src/util/assert.h"
 
 namespace arv::cluster {
@@ -31,9 +33,10 @@ class RequestsStrategy final : public PlacementStrategy {
 
   int queue_rank(const PodSpec& pod) const override { return qos_rank(pod); }
 
-  int select(const PodSpec& pod, const std::vector<HostView>& hosts,
+  int select(const PodSpec& pod, const FleetView& fleet,
              Rng& rng) const override {
     const auto& r = pod.resources;
+    const std::vector<HostView>& hosts = fleet.hosts;
     std::vector<std::int64_t> scores(hosts.size(), -1);
     for (std::size_t i = 0; i < hosts.size(); ++i) {
       const HostView& h = hosts[i];
@@ -67,9 +70,10 @@ class EffectiveStrategy final : public PlacementStrategy {
 
   std::string name() const override { return "effective"; }
 
-  int select(const PodSpec& pod, const std::vector<HostView>& hosts,
+  int select(const PodSpec& pod, const FleetView& fleet,
              Rng& rng) const override {
     const auto& r = pod.resources;
+    const std::vector<HostView>& hosts = fleet.hosts;
     std::vector<std::int64_t> scores(hosts.size(), -1);
     for (std::size_t i = 0; i < hosts.size(); ++i) {
       const HostView& h = hosts[i];
@@ -90,6 +94,96 @@ class EffectiveStrategy final : public PlacementStrategy {
       const std::int64_t mem_headroom =
           frac_permille(h.free_memory - r.request_memory, h.capacity_memory);
       scores[i] = std::min(cpu_headroom, mem_headroom);
+    }
+    return pick_best(scores, rng);
+  }
+};
+
+/// Profile-driven placement (C-Balancer): score hosts on *projected* p95
+/// load — the sum of residents' profiled p95s plus the incoming pod's own
+/// expected p95 — instead of the instantaneous slack "effective" reads.
+/// Instantaneous slack at a bursty pod's trough looks identical to real
+/// headroom; the p95 sum does not. On top of the load score, anti-colocate:
+/// a host already housing a replica of the same service, or of a service
+/// whose usage series positively correlates with the incoming pod's, is
+/// penalized in proportion — two services whose bursts line up should not
+/// share a host.
+class ProfileStrategy final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "profile"; }
+
+  int select(const PodSpec& pod, const FleetView& fleet,
+             Rng& rng) const override {
+    const auto& r = pod.resources;
+    const std::vector<HostView>& hosts = fleet.hosts;
+    const std::string& service =
+        pod.service.empty() ? pod.name : pod.service;
+
+    // One O(pods) pass: per-host projected p95 load and resident services.
+    // A row counts while it holds capacity on its host — running, in flight,
+    // or synthetically claimed by an earlier decision in the same round.
+    std::vector<std::int64_t> projected(hosts.size(), 0);
+    std::vector<std::vector<int>> residents(hosts.size());
+    std::int64_t incoming_p95_sum = 0;
+    int incoming_profiled = 0;
+    for (const PodRow& row : fleet.pods) {
+      if (row.samples > 0 && service == fleet.service_name(row.service)) {
+        incoming_p95_sum += row.cpu_p95_millicpu;
+        ++incoming_profiled;
+      }
+      if (row.host < 0 || row.host >= static_cast<int>(hosts.size()) ||
+          !(row.running || row.in_flight)) {
+        continue;
+      }
+      const std::size_t h = static_cast<std::size_t>(row.host);
+      projected[h] +=
+          row.samples > 0 ? row.cpu_p95_millicpu : row.request_millicpu;
+      residents[h].push_back(row.service);
+    }
+    // The incoming pod's expected p95: the mean over profiled replicas of
+    // its own service anywhere in the fleet, else its declared request.
+    const std::int64_t incoming_p95 =
+        incoming_profiled > 0 ? incoming_p95_sum / incoming_profiled
+                              : r.request_millicpu;
+
+    std::vector<std::int64_t> scores(hosts.size(), -1);
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      const HostView& h = hosts[i];
+      // Feasibility is "effective"'s: observed signals gate admission.
+      if (!h.schedulable()) {
+        continue;
+      }
+      if (h.slack_millicpu < EffectiveStrategy::kMinSlackMillicpu) {
+        continue;
+      }
+      if (h.free_memory < r.request_memory + EffectiveStrategy::kMemReserve) {
+        continue;
+      }
+      const std::int64_t cpu_headroom = frac_permille(
+          h.capacity_millicpu - projected[i] - incoming_p95,
+          h.capacity_millicpu);
+      const std::int64_t mem_headroom =
+          frac_permille(h.free_memory - r.request_memory, h.capacity_memory);
+      const std::int64_t base = std::min(cpu_headroom, mem_headroom);
+      // Anti-colocation penalty: the worst resident decides. Same service is
+      // perfectly correlated by construction (shared arrival stream).
+      std::int64_t penalty = 0;
+      for (const int svc : residents[i]) {
+        std::int64_t corr = 0;
+        if (service == fleet.service_name(svc)) {
+          corr = 1000;
+        } else if (fleet.profiles != nullptr) {
+          corr = fleet.profiles->service_correlation_permille(
+              service, fleet.service_name(svc));
+        }
+        penalty = std::max(penalty, corr);
+      }
+      // The +1000 offset keeps the penalty discriminative when projected
+      // load consumes the whole machine: base bottoms out at 0 for every
+      // tight host, and a clamped `base - penalty` would tie a correlated
+      // host with an uncorrelated one — exactly the pair that must differ.
+      // base and penalty are both in [0, 1000], so the score is too, shifted.
+      scores[i] = 1000 + base - penalty;
     }
     return pick_best(scores, rng);
   }
@@ -149,6 +243,8 @@ PlacementRegistry::PlacementRegistry() {
                     [] { return std::make_unique<RequestsStrategy>(); });
   register_strategy("effective",
                     [] { return std::make_unique<EffectiveStrategy>(); });
+  register_strategy("profile",
+                    [] { return std::make_unique<ProfileStrategy>(); });
 }
 
 PlacementRegistry& PlacementRegistry::instance() {

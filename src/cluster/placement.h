@@ -14,6 +14,16 @@
 //                (the signals the per-host Ns_Monitor machinery maintains),
 //                so an overcommitted-but-idle host still accepts pods and a
 //                saturated one does not.
+//   "profile"    C-Balancer-style: scores on *profiled* p95 usage instead of
+//                instantaneous slack, and anti-colocates pods whose services'
+//                usage series are positively correlated (fleet_view.h,
+//                profile.h). Falls back to request-sized estimates for
+//                unprofiled pods, so it degrades to "effective"-like behavior
+//                on a cold fleet.
+//
+// Strategies decide from one shared FleetView snapshot (fleet_view.h) rather
+// than a bare host array, so a strategy may consult per-pod rows (who already
+// lives where, at what profiled load) as well as per-host headroom.
 //
 // The name-keyed registry mirrors core::PolicyRegistry: new strategies are
 // one-file additions, selected per placement call by name.
@@ -50,6 +60,11 @@ struct PodSpec {
   bool enable_view = true;
   /// CPU-limit enforcement mode; survives migration/failover re-landings.
   CpuMode cpu_mode = CpuMode::kQuotaCapped;
+  /// Service the pod belongs to: replicas of one service share it, and the
+  /// profile machinery aggregates/correlates per service. Empty => the pod
+  /// name (every pod its own singleton service). Last so positional
+  /// aggregate initializers keep working.
+  std::string service;
 };
 
 /// What a strategy sees about one host at decision time. Declared numbers
@@ -79,7 +94,11 @@ struct HostView {
 
   /// Strategies place only on hosts that are both alive and uncordoned.
   bool schedulable() const { return up && !cordoned; }
+
+  bool operator==(const HostView&) const = default;
 };
+
+struct FleetView;
 
 class PlacementStrategy {
  public:
@@ -94,11 +113,12 @@ class PlacementStrategy {
   /// last, mirroring how kube-scheduler's queue orders contenders.
   virtual int queue_rank(const PodSpec& pod) const;
 
-  /// Choose a host for `pod`, or -1 when no host fits. `rng` breaks score
-  /// ties (kube-scheduler also picks randomly among equal-score hosts); a
-  /// strategy must consume randomness only for ties so placement stays
-  /// deterministic under a fixed seed.
-  virtual int select(const PodSpec& pod, const std::vector<HostView>& hosts,
+  /// Choose a host for `pod`, or -1 when no host fits. `fleet` is the shared
+  /// cluster snapshot (fleet.hosts for headroom, fleet.pods for residents).
+  /// `rng` breaks score ties (kube-scheduler also picks randomly among
+  /// equal-score hosts); a strategy must consume randomness only for ties so
+  /// placement stays deterministic under a fixed seed.
+  virtual int select(const PodSpec& pod, const FleetView& fleet,
                      Rng& rng) const = 0;
 };
 

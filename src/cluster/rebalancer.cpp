@@ -44,24 +44,36 @@ void Rebalancer::tick(SimTime now, SimDuration dt) {
     }
   }
 
-  // 2. Refresh the per-pod usage deltas (who burned CPU this round). Done
-  //    every round, not only when migrating, so the signal is always warm.
+  // 2. Victim signal. With a ProfileStore attached the fleet rows already
+  //    carry each pod's profiled p95 — no per-round sampling (or baseline
+  //    retention) needed at all. Without one, refresh the per-pod usage
+  //    deltas (who burned CPU this round) every round, not only when
+  //    migrating, so the signal is always warm. Baselines are pruned first:
+  //    only pods holding a *running* fleet row may keep one, so a
+  //    stopped/migrated/crashed pod's entry never outlives the pod.
+  const FleetView& fleet = cluster_.fleet_view();
+  const bool profiled = cluster_.profiles() != nullptr;
   std::map<int, CpuTime> round_usage;
-  for (int id = 0; id < cluster_.pod_count(); ++id) {
-    const Pod& pod = cluster_.pod(id);
-    if (!pod.running()) {
-      pod_last_usage_.erase(id);
-      continue;
+  if (!profiled) {
+    std::erase_if(pod_last_usage_, [&fleet](const auto& entry) {
+      return entry.first >= fleet.pod_count() ||
+             !fleet.pods[static_cast<std::size_t>(entry.first)].running;
+    });
+    for (const PodRow& row : fleet.pods) {
+      if (row.id < 0 || !row.running) {
+        continue;
+      }
+      const Pod& pod = cluster_.pod(row.id);
+      const CpuTime usage = cluster_.host(pod.host).scheduler().total_usage(
+          pod.container->cgroup());
+      const auto it = pod_last_usage_.find(row.id);
+      // A freshly-landed pod has no baseline; its first round reads as zero
+      // rather than as its entire lifetime burn.
+      round_usage[row.id] = it == pod_last_usage_.end()
+                                ? 0
+                                : std::max<CpuTime>(0, usage - it->second);
+      pod_last_usage_[row.id] = usage;
     }
-    const CpuTime usage = cluster_.host(pod.host).scheduler().total_usage(
-        pod.container->cgroup());
-    const auto it = pod_last_usage_.find(id);
-    // A freshly-landed pod has no baseline; its first round reads as zero
-    // rather than as its entire lifetime burn.
-    round_usage[id] = it == pod_last_usage_.end()
-                          ? 0
-                          : std::max<CpuTime>(0, usage - it->second);
-    pod_last_usage_[id] = usage;
   }
 
   // 3. At most one migration per round: the lowest-indexed host that has
@@ -75,19 +87,30 @@ void Rebalancer::tick(SimTime now, SimDuration dt) {
       continue;
     }
 
-    // Victim: biggest CPU consumer this round, past its residency minimum.
+    // Victim, past its residency minimum: with profiles, the hottest pod by
+    // profiled p95 (declared request until the window fills), burstiness
+    // breaking ties — the spikier pod is the likelier saturation cause.
+    // Without, the biggest CPU consumer this round. Ties keep the lowest id.
     int victim = -1;
-    CpuTime victim_usage = -1;
-    for (int id = 0; id < cluster_.pod_count(); ++id) {
-      const Pod& pod = cluster_.pod(id);
-      if (!pod.running() || pod.host != source ||
-          now - pod.placed_at < config_.min_residency) {
+    std::int64_t victim_key = -1;
+    std::int64_t victim_burst = -1;
+    for (const PodRow& row : fleet.pods) {
+      if (row.id < 0 || !row.running || row.host != source ||
+          now - row.placed_at < config_.min_residency) {
         continue;
       }
-      const CpuTime usage = round_usage[id];
-      if (usage > victim_usage) {  // ties keep the lowest pod id
-        victim = id;
-        victim_usage = usage;
+      std::int64_t key = 0;
+      std::int64_t burst = 0;
+      if (profiled) {
+        key = row.samples > 0 ? row.cpu_p95_millicpu : row.request_millicpu;
+        burst = row.burst_permille;
+      } else {
+        key = round_usage[row.id];
+      }
+      if (key > victim_key || (key == victim_key && burst > victim_burst)) {
+        victim = row.id;
+        victim_key = key;
+        victim_burst = burst;
       }
     }
     if (victim < 0) {

@@ -4,7 +4,11 @@
 // each host's slack between rounds and, when a host has shown (effectively)
 // zero slack for K consecutive rounds while another host has observed
 // headroom, migrates one container from the saturated host to the roomiest
-// one. Guard rails against thrashing:
+// one. Victim selection is profile-driven when a ProfileStore is attached
+// to the cluster: the saturated host evicts its hottest pod by *profiled*
+// p95 CPU (burstiness breaks ties — the spikier pod is the likelier cause
+// of the saturation), falling back to the per-round usage-delta signal when
+// no profiles exist. Guard rails against thrashing:
 //
 //   * K consecutive saturated rounds before a host qualifies as a source
 //     (a single busy round never triggers a move);
@@ -57,6 +61,10 @@ class Rebalancer : public sim::TickComponent {
   int saturated_rounds(int host) const {
     return track_.at(static_cast<std::size_t>(host)).saturated_rounds;
   }
+  /// Pods with a live usage-delta baseline. Bounded by the running-pod
+  /// count: baselines of stopped/migrated/crashed pods are pruned every
+  /// round (and the profile-driven victim path keeps none at all).
+  int tracked_pods() const { return static_cast<int>(pod_last_usage_.size()); }
 
  private:
   struct HostTrack {
@@ -64,11 +72,6 @@ class Rebalancer : public sim::TickComponent {
     SimTime cooldown_until = 0;
     CpuTime last_total_slack = 0;
   };
-
-  /// The pod to evict from `host`: the biggest CPU consumer since the last
-  /// round (moving it relieves the most pressure); ties go to the lowest pod
-  /// id. -1 when nothing on the host is eligible.
-  int pick_victim(int host, SimTime now, Bytes target_free);
 
   Cluster& cluster_;
   RebalanceConfig config_;

@@ -52,33 +52,23 @@ void FailureDetector::tick(SimTime /*now*/, SimDuration /*dt*/) {
   }
 
   // 2. Evacuate: every failed pod stranded on a declared-dead host goes to
-  //    the strategy's best up host. The views are built once and then
-  //    *adjusted in place* as refugees land. Re-reading host_views() after
-  //    each failover — the old behaviour — is worse than useless here: the
-  //    refugee has not burned a cycle yet, so the fresh read restores the
-  //    target's pre-landing observed slack/free-memory and every refugee in
-  //    the burst races into the same host, blowing past its real headroom.
-  //    Claims deducted up front for pods already in flight (migrations) keep
-  //    their reserved-but-unobserved share from being promised twice.
-  std::vector<HostView> views = cluster_.host_views();
-  const auto claim = [&views](int host, const container::K8sResources& r) {
-    HostView& v = views[static_cast<std::size_t>(host)];
-    v.requested_millicpu += r.request_millicpu;
-    v.requested_memory += r.request_memory;
-    v.slack_millicpu = std::max<std::int64_t>(0, v.slack_millicpu - r.request_millicpu);
-    v.free_memory = std::max<Bytes>(0, v.free_memory - r.request_memory);
-    ++v.pods;
-  };
+  //    the strategy's best up host. The fleet view is copied once and then
+  //    *adjusted in place* (FleetView::claim) as refugees land. Re-reading
+  //    fleet_view() after each failover — the old behaviour — is worse than
+  //    useless here: the refugee has not burned a cycle yet, so the fresh
+  //    read restores the target's pre-landing observed slack/free-memory and
+  //    every refugee in the burst races into the same host, blowing past its
+  //    real headroom. Reservations deducted up front for pods already in
+  //    flight (migrations) keep their reserved-but-unobserved share from
+  //    being promised twice.
+  FleetView views = cluster_.fleet_view();
   for (int id = 0; id < cluster_.pod_count(); ++id) {
     const Pod& pod = cluster_.pod(id);
     if (pod.in_flight()) {
-      // The ledger already counts the reservation (host_views() includes
+      // The ledger already counts the reservation (the snapshot includes
       // it), but the *observed* axes the effective strategy scores on do
       // not; deduct the declared request so the landing slot stays held.
-      HostView& v = views[static_cast<std::size_t>(pod.host)];
-      const auto& r = pod.spec.resources;
-      v.slack_millicpu = std::max<std::int64_t>(0, v.slack_millicpu - r.request_millicpu);
-      v.free_memory = std::max<Bytes>(0, v.free_memory - r.request_memory);
+      views.reserve(pod.host, pod.spec.resources);
     }
   }
   for (int id = 0; id < cluster_.pod_count(); ++id) {
@@ -98,7 +88,7 @@ void FailureDetector::tick(SimTime /*now*/, SimDuration /*dt*/) {
     ++failovers_initiated_;
     // Charge the refugee against the target's view so the next refugee sees
     // the post-landing headroom, not the snapshot.
-    claim(target, pod.spec.resources);
+    views.claim(target, pod.spec);
   }
 }
 

@@ -123,12 +123,20 @@ void RequestRouter::record_failure(Replica& replica, SimTime now) {
 
 void RequestRouter::route_one(SimTime now) {
   ++generated_;
-  // Live = the sink exists right now (not stopped, crashed, or frozen
-  // mid-migration); admitted = live and its breaker lets this attempt pass.
+  // Live = the shared fleet snapshot shows the replica running AND its sink
+  // exists right now (not stopped, crashed, or frozen mid-migration);
+  // admitted = live and its breaker lets this attempt pass. The snapshot is
+  // lazily fresh, so a replica that stopped earlier this round is already
+  // out of rotation here — the router and the control loops act on the same
+  // view of the fleet.
+  const FleetView& fleet = cluster_.fleet_view();
   bool any_live = false;
   std::vector<std::size_t> candidates;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (sink(replicas_[i].pod) == nullptr) {
+    const int pod = replicas_[i].pod;
+    if (pod >= fleet.pod_count() ||
+        !fleet.pods[static_cast<std::size_t>(pod)].running ||
+        sink(pod) == nullptr) {
       continue;
     }
     any_live = true;

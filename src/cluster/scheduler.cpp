@@ -20,7 +20,7 @@ int ClusterScheduler::place(const std::string& strategy_name, PodSpec spec,
                             WorkloadFactory factory) {
   PlacementStrategy& chosen = strategy(strategy_name);
   const int host =
-      chosen.select(spec, cluster_.host_views(), cluster_.rng());
+      chosen.select(spec, cluster_.fleet_view(), cluster_.rng());
   if (host < 0) {
     ++unschedulable_;
     return -1;

@@ -110,12 +110,23 @@ int FleetScenario::add_host(container::HostConfig host_config) {
   return cluster_.add_host(host_config);
 }
 
+void FleetScenario::use_placement(std::string strategy) {
+  ARV_ASSERT_MSG(cluster::PlacementRegistry::instance().has(strategy),
+                 "unknown placement strategy");
+  default_strategy_ = std::move(strategy);
+}
+
 int FleetScenario::place_pod(const std::string& strategy,
                              container::K8sResources resources,
                              cluster::WorkloadFactory factory) {
   cluster::PodSpec spec;
   spec.resources = resources;
   return scheduler_.place(strategy, std::move(spec), std::move(factory));
+}
+
+int FleetScenario::place_pod(container::K8sResources resources,
+                             cluster::WorkloadFactory factory) {
+  return place_pod(default_strategy_, resources, std::move(factory));
 }
 
 int FleetScenario::place_web_pod(const std::string& strategy,
@@ -126,6 +137,17 @@ int FleetScenario::place_web_pod(const std::string& strategy,
     router_->add_replica(pod);
   }
   return pod;
+}
+
+int FleetScenario::place_web_pod(container::K8sResources resources,
+                                 server::WebConfig web) {
+  return place_web_pod(default_strategy_, resources, web);
+}
+
+void FleetScenario::enable_profiles(cluster::ProfileConfig config) {
+  ARV_ASSERT_MSG(profiles_ == nullptr, "profiles already enabled");
+  profiles_ = std::make_unique<cluster::ProfileStore>(cluster_, config);
+  cluster_.add_component(profiles_.get());
 }
 
 void FleetScenario::enable_router(double arrivals_per_sec) {

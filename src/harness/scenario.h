@@ -13,6 +13,7 @@
 #include "src/cluster/autoscale.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/faults.h"
+#include "src/cluster/profile.h"
 #include "src/cluster/rebalancer.h"
 #include "src/cluster/recovery.h"
 #include "src/cluster/router.h"
@@ -136,9 +137,18 @@ class FleetScenario {
   /// Add one host; its tick is forced to the cluster tick. Returns the index.
   int add_host(container::HostConfig host_config = {});
 
-  /// Place one pod through the named strategy ("requests", "effective", or
-  /// any registered name). Returns the pod id, or -1 when unschedulable.
+  /// Select the placement strategy the strategy-less place_* overloads use
+  /// ("requests", "effective", "profile", or any registered name). The
+  /// initial default is "effective".
+  void use_placement(std::string strategy);
+
+  /// Place one pod through the named strategy ("requests", "effective",
+  /// "profile", or any registered name). Returns the pod id, or -1 when
+  /// unschedulable.
   int place_pod(const std::string& strategy, container::K8sResources resources,
+                cluster::WorkloadFactory factory = {});
+  /// Same, through the use_placement() default.
+  int place_pod(container::K8sResources resources,
                 cluster::WorkloadFactory factory = {});
 
   /// Place a WorkerPoolServer replica pod and (when the router is enabled)
@@ -146,6 +156,15 @@ class FleetScenario {
   int place_web_pod(const std::string& strategy,
                     container::K8sResources resources,
                     server::WebConfig web = {});
+  /// Same, through the use_placement() default.
+  int place_web_pod(container::K8sResources resources,
+                    server::WebConfig web = {});
+
+  /// Attach per-pod usage profiling (percentiles, burstiness, per-service
+  /// correlation). The "profile" placement strategy and the rebalancer's
+  /// profiled victim selection need this; enable before placing pods so the
+  /// windows start filling immediately.
+  void enable_profiles(cluster::ProfileConfig config = {});
 
   /// Route an open-loop stream at `arrivals_per_sec` across the web replicas
   /// placed so far and later. Call before placing web pods.
@@ -193,10 +212,13 @@ class FleetScenario {
   cluster::HorizontalAutoscaler* hpa() { return hpa_.get(); }
   cluster::VerticalRecommender* vpa() { return vpa_.get(); }
   cluster::ClusterAutoscaler* cluster_autoscaler() { return ca_.get(); }
+  cluster::ProfileStore* profiles() { return profiles_.get(); }
 
  private:
   cluster::Cluster cluster_;
   cluster::ClusterScheduler scheduler_;
+  std::string default_strategy_ = "effective";
+  std::unique_ptr<cluster::ProfileStore> profiles_;
   std::unique_ptr<cluster::RequestRouter> router_;
   std::unique_ptr<cluster::Rebalancer> rebalancer_;
   std::unique_ptr<cluster::FailureDetector> detector_;

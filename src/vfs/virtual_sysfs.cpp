@@ -551,12 +551,11 @@ std::optional<std::int64_t> VirtualSysfs::trace_counter_for(
 }
 
 void VirtualSysfs::register_control_file(const std::string& path,
-                                         FileProvider provider) {
+                                         FileProvider provider,
+                                         const Generation* generation) {
   ARV_ASSERT_MSG(path.rfind("/sys/arv/", 0) == 0,
                  "control files live under /sys/arv/");
-  // No generation counter: control-plane counters change every decision
-  // round, so caching the render would only serve stale values.
-  fs_.register_file(path, std::move(provider));
+  fs_.register_file(path, std::move(provider), generation);
 }
 
 void VirtualSysfs::remove_control_subtree(const std::string& prefix) {

@@ -59,11 +59,17 @@ class VirtualSysfs {
   /// cgroup-destroyed event.
   void export_cgroup_files(cgroup::CgroupId id);
 
-  /// Register a cluster-level control-plane file (read-only, uncached — the
-  /// provider is consulted on every read). The autoscalers publish their
-  /// decision counters under /sys/arv/autoscale/ and /sys/arv/vpa/ on a
-  /// designated host's sysfs through this; path must start with "/sys/arv/".
-  void register_control_file(const std::string& path, FileProvider provider);
+  /// Register a cluster-level control-plane file (read-only). The
+  /// autoscalers publish their decision counters under /sys/arv/autoscale/
+  /// and /sys/arv/vpa/ on a designated host's sysfs through this; the
+  /// cluster publishes its fleet snapshot under /sys/arv/fleet/. Path must
+  /// start with "/sys/arv/". Without `generation` the provider is consulted
+  /// on every read (decision counters change every round — caching would
+  /// only serve stale values); with one, renders cache on it exactly like
+  /// PseudoFs::register_file, so files over slow-moving state (the fleet
+  /// view) re-render only when their backing generation advances.
+  void register_control_file(const std::string& path, FileProvider provider,
+                             const Generation* generation = nullptr);
 
   /// Remove every control file under `prefix` (component teardown — the
   /// providers capture their owner, so they must not outlive it).

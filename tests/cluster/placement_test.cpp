@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cluster/cluster.h"
+#include "src/cluster/fleet_view.h"
 #include "src/cluster/pod_workloads.h"
 #include "src/cluster/scheduler.h"
 
@@ -51,9 +52,8 @@ TEST(PlacementRegistry, CustomStrategyIsSelectable) {
   class FirstHost final : public PlacementStrategy {
    public:
     std::string name() const override { return "first-host"; }
-    int select(const PodSpec&, const std::vector<HostView>& hosts,
-               Rng&) const override {
-      return hosts.empty() ? -1 : 0;
+    int select(const PodSpec&, const FleetView& fleet, Rng&) const override {
+      return fleet.hosts.empty() ? -1 : 0;
     }
   };
   PlacementRegistry::instance().register_strategy(
@@ -233,7 +233,8 @@ TEST(EffectiveStrategy, ScoresCorrectlyAtPetabyteCapacities) {
   h1.free_memory = 896 * PiB;     // ~875 permille -> score 250
   Rng rng(1);
   const PodSpec pod = spec(1000, 1 * GiB);
-  EXPECT_EQ(strategy->select(pod, {h0, h1}, rng), 0);
+  const FleetView fleet = FleetView::from_hosts({h0, h1});
+  EXPECT_EQ(strategy->select(pod, fleet, rng), 0);
 }
 
 }  // namespace
