@@ -185,9 +185,9 @@ AutoscaleResult run_mode(const std::string& name, cluster::CpuMode mode) {
           : 100.0 * static_cast<double>(r.routed()) /
                 static_cast<double>(result.generated);
   const server::RequestStats agg = r.aggregate();
-  result.p50_ms = percentile(agg.latencies, 50.0) / 1000.0;
-  result.p95_ms = percentile(agg.latencies, 95.0) / 1000.0;
-  result.p99_ms = percentile(agg.latencies, 99.0) / 1000.0;
+  result.p50_ms = agg.percentile_ms(50.0);
+  result.p95_ms = agg.percentile_ms(95.0);
+  result.p99_ms = agg.percentile_ms(99.0);
   result.shed = r.shed();
   result.dropped = r.dropped();
   result.scale_ups = fleet.hpa()->scale_ups();

@@ -206,9 +206,9 @@ PlacementResult run_strategy(const std::string& strategy) {
           : 100.0 * static_cast<double>(r.routed()) /
                 static_cast<double>(result.generated);
   const server::RequestStats agg = r.aggregate();
-  result.p50_ms = percentile(agg.latencies, 50.0) / 1000.0;
-  result.p95_ms = percentile(agg.latencies, 95.0) / 1000.0;
-  result.p99_ms = percentile(agg.latencies, 99.0) / 1000.0;
+  result.p50_ms = agg.percentile_ms(50.0);
+  result.p95_ms = agg.percentile_ms(95.0);
+  result.p99_ms = agg.percentile_ms(99.0);
   result.shed = r.shed();
   return result;
 }

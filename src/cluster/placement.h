@@ -65,6 +65,11 @@ struct PodSpec {
   /// name (every pod its own singleton service). Last so positional
   /// aggregate initializers keep working.
   std::string service;
+  /// Adaptation policy for the pod's resource view ("paper", "static", or
+  /// any registered name); empty keeps the container default. Applied at
+  /// every landing, so it survives migration and failover — the knob the
+  /// workload benchmarks flip to compare view policies per fleet.
+  std::string view_policy;
 };
 
 /// What a strategy sees about one host at decision time. Declared numbers

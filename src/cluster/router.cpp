@@ -121,7 +121,7 @@ void RequestRouter::record_failure(Replica& replica, SimTime now) {
   }
 }
 
-void RequestRouter::route_one(SimTime now) {
+void RequestRouter::route_one(SimTime now, CpuTime cost) {
   ++generated_;
   // Live = the shared fleet snapshot shows the replica running AND its sink
   // exists right now (not stopped, crashed, or frozen mid-migration);
@@ -131,7 +131,7 @@ void RequestRouter::route_one(SimTime now) {
   // view of the fleet.
   const FleetView& fleet = cluster_.fleet_view();
   bool any_live = false;
-  std::vector<std::size_t> candidates;
+  candidates_.clear();
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     const int pod = replicas_[i].pod;
     if (pod >= fleet.pod_count() ||
@@ -141,46 +141,53 @@ void RequestRouter::route_one(SimTime now) {
     }
     any_live = true;
     if (admits(replicas_[i], now)) {
-      candidates.push_back(i);
+      candidates_.push_back(i);
     }
   }
   if (!any_live) {
     ++unroutable_;  // the fleet has no replica at all
     return;
   }
-  if (candidates.empty()) {
+  if (candidates_.empty()) {
     ++shed_;  // replicas exist but every breaker is open: protect them
     return;
   }
   // Bounded retry: attempt the JSQ-best candidate, then the next-best on a
   // refused injection, never re-trying a replica within one request.
   const int max_attempts = 1 + config_.max_retries;
-  for (int attempt = 0; attempt < max_attempts && !candidates.empty();
+  for (int attempt = 0; attempt < max_attempts && !candidates_.empty();
        ++attempt) {
     std::size_t best_pos = 0;
     std::size_t best_depth = 0;
-    for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
-      const std::size_t depth = sink(replicas_[candidates[pos]].pod)->queue_depth();
+    for (std::size_t pos = 0; pos < candidates_.size(); ++pos) {
+      const std::size_t depth = sink(replicas_[candidates_[pos]].pod)->queue_depth();
       if (pos == 0 || depth < best_depth) {
         best_pos = pos;
         best_depth = depth;
       }
     }
-    Replica& replica = replicas_[candidates[best_pos]];
+    Replica& replica = replicas_[candidates_[best_pos]];
     ++attempts_;
     if (attempt > 0) {
       ++retries_;
     }
-    if (sink(replica.pod)->inject_request(now)) {
+    if (sink(replica.pod)->inject_request(now, cost)) {
       record_success(replica);
       ++routed_;
       return;
     }
     record_failure(replica, now);
-    candidates.erase(candidates.begin() +
-                     static_cast<std::ptrdiff_t>(best_pos));
+    candidates_.erase(candidates_.begin() +
+                      static_cast<std::ptrdiff_t>(best_pos));
   }
   ++dropped_;  // every allowed attempt was refused
+}
+
+void RequestRouter::inject_batch(SimTime now, const CpuTime* costs,
+                                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    route_one(now, costs[i]);
+  }
 }
 
 void RequestRouter::tick(SimTime now, SimDuration dt) {

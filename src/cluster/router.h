@@ -65,6 +65,18 @@ class RequestRouter : public sim::TickComponent {
   void set_rate(double arrivals_per_sec);
   double rate() const { return config_.arrivals_per_sec; }
 
+  /// Open-loop external injection (the workload engine's front door): one
+  /// request arriving `now` with its own CPU cost (0 = the replica's default
+  /// service_cpu). Exactly the same disposition pipeline as self-generated
+  /// arrivals — retries, breakers, shed/unroutable accounting all apply.
+  void inject(SimTime now, CpuTime cost = 0) { route_one(now, cost); }
+
+  /// Batched per-tick injection: `costs[0..n)` requests all arriving `now`.
+  /// One fleet-snapshot pull serves the whole batch and the candidate
+  /// scratch is pooled, so the generator side stays O(n) with no per-request
+  /// allocation (the million-requests-per-sim-day fast path).
+  void inject_batch(SimTime now, const CpuTime* costs, std::size_t n);
+
   /// Replicas currently enrolled (live or not; rotation never shrinks).
   int replica_count() const { return static_cast<int>(replicas_.size()); }
 
@@ -105,7 +117,7 @@ class RequestRouter : public sim::TickComponent {
   };
 
   server::WorkerPoolServer* sink(int pod_id) const;
-  void route_one(SimTime now);
+  void route_one(SimTime now, CpuTime cost = 0);
   void record_success(Replica& replica);
   void record_failure(Replica& replica, SimTime now);
   /// Breaker gate for this attempt; promotes open → half-open when due.
@@ -114,6 +126,9 @@ class RequestRouter : public sim::TickComponent {
   Cluster& cluster_;
   RouterConfig config_;
   std::vector<Replica> replicas_;  ///< rotation order = add order
+  /// Candidate scratch reused across route_one calls (capacity persists, so
+  /// routing a request allocates nothing once the rotation is warm).
+  std::vector<std::size_t> candidates_;
   double accumulator_ = 0;
   std::uint64_t generated_ = 0;
   std::uint64_t routed_ = 0;

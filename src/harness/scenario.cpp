@@ -178,6 +178,100 @@ void FleetScenario::enable_faults(cluster::FaultPlan plan) {
   cluster_.add_component(injector_.get());
 }
 
+FleetScenario::Tenant* FleetScenario::find_tenant(const std::string& name) {
+  for (Tenant& tenant : tenants_) {
+    if (tenant.name == name) {
+      return &tenant;
+    }
+  }
+  return nullptr;
+}
+
+void FleetScenario::add_tenant(const std::string& name,
+                               cluster::RouterConfig router) {
+  ARV_ASSERT_MSG(!name.empty(), "tenant needs a name");
+  ARV_ASSERT_MSG(find_tenant(name) == nullptr, "tenant already declared");
+  ARV_ASSERT_MSG(driver_ == nullptr, "add tenants before use_trace()");
+  // Tenants are externally driven: the trace engine owns their arrivals.
+  router.arrivals_per_sec = 0;
+  Tenant tenant;
+  tenant.name = name;
+  tenant.router = std::make_unique<cluster::RequestRouter>(cluster_, router);
+  cluster_.add_component(tenant.router.get());
+  tenants_.push_back(std::move(tenant));
+}
+
+int FleetScenario::place_tenant_web_pod(const std::string& tenant,
+                                        container::K8sResources resources,
+                                        server::WebConfig web,
+                                        cluster::PodSpec spec_template) {
+  Tenant* t = find_tenant(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  cluster::PodSpec spec = std::move(spec_template);
+  spec.resources = resources;
+  spec.service = tenant;
+  web.arrivals_per_sec = 0;  // replicas behind a router never self-generate
+  const int pod = scheduler_.place(default_strategy_, std::move(spec),
+                                   cluster::web_replica(web));
+  if (pod >= 0) {
+    t->router->add_replica(pod);
+  }
+  return pod;
+}
+
+void FleetScenario::use_trace(load::CompiledTrace trace,
+                              load::DriverConfig config) {
+  ARV_ASSERT_MSG(driver_ == nullptr, "trace already in use");
+  driver_ = std::make_unique<load::OpenLoopDriver>(cluster_, std::move(trace),
+                                                   config);
+  for (Tenant& tenant : tenants_) {
+    if (driver_->trace().find(tenant.name) != nullptr) {
+      driver_->bind(tenant.name, *tenant.router);
+    }
+  }
+  cluster_.add_component(driver_.get());
+}
+
+void FleetScenario::declare_slo(const std::string& tenant, load::SloTarget target,
+                                load::SloConfig config) {
+  Tenant* t = find_tenant(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  if (slo_ == nullptr) {
+    // Registered after the driver (use_trace first), so every accounting
+    // round reads post-injection state of the same tick.
+    slo_ = std::make_unique<load::SloAccountant>(cluster_, config);
+    cluster_.add_component(slo_.get());
+  }
+  slo_->declare(tenant, *t->router, target);
+}
+
+void FleetScenario::enable_tenant_hpa(const std::string& tenant,
+                                      cluster::PodSpec replica_template,
+                                      server::WebConfig web,
+                                      cluster::HpaConfig config) {
+  Tenant* t = find_tenant(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  ARV_ASSERT_MSG(t->hpa == nullptr, "tenant hpa already enabled");
+  if (replica_template.name.empty()) {
+    replica_template.name = tenant;
+  }
+  replica_template.service = tenant;
+  t->hpa = std::make_unique<cluster::HorizontalAutoscaler>(
+      cluster_, *t->router, std::move(replica_template), web, config);
+  cluster_.add_component(t->hpa.get());
+}
+
+cluster::RequestRouter* FleetScenario::tenant_router(const std::string& tenant) {
+  Tenant* t = find_tenant(tenant);
+  return t == nullptr ? nullptr : t->router.get();
+}
+
+cluster::HorizontalAutoscaler* FleetScenario::tenant_hpa(
+    const std::string& tenant) {
+  Tenant* t = find_tenant(tenant);
+  return t == nullptr ? nullptr : t->hpa.get();
+}
+
 void FleetScenario::enable_hpa(cluster::PodSpec replica_template,
                                server::WebConfig web,
                                cluster::HpaConfig config) {

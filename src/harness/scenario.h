@@ -20,6 +20,9 @@
 #include "src/cluster/scheduler.h"
 #include "src/container/container.h"
 #include "src/jvm/jvm.h"
+#include "src/load/driver.h"
+#include "src/load/slo.h"
+#include "src/load/trace_spec.h"
 #include "src/omp/omp_runtime.h"
 #include "src/server/server_runtime.h"
 #include "src/workloads/hogs.h"
@@ -193,6 +196,37 @@ class FleetScenario {
   void enable_hpa(cluster::PodSpec replica_template, server::WebConfig web,
                   cluster::HpaConfig config = {});
 
+  // --- multi-tenant workload engine (src/load, DESIGN.md §14) ---------------
+  /// Declare a tenant: one service with its own RequestRouter (so the
+  /// per-request conservation identities, breakers, and HPA all stay
+  /// per-tenant). The router's self-generated rate is forced to 0 — tenants
+  /// are driven by the trace engine. Call before placing the tenant's pods.
+  void add_tenant(const std::string& name,
+                  cluster::RouterConfig router = {});
+
+  /// Place a replica pod for `tenant` and enroll it in the tenant's router.
+  /// Returns the pod id, or -1 when unschedulable.
+  int place_tenant_web_pod(const std::string& tenant,
+                           container::K8sResources resources,
+                           server::WebConfig web = {},
+                           cluster::PodSpec spec_template = {});
+
+  /// Replay a compiled trace: every tenant named in it that was declared via
+  /// add_tenant() is bound to its router. Call after add_tenant().
+  void use_trace(load::CompiledTrace trace, load::DriverConfig config = {});
+
+  /// Declare a tenant's SLO (creates the SloAccountant on first use). Call
+  /// after use_trace() so the accountant reads post-injection rounds.
+  void declare_slo(const std::string& tenant, load::SloTarget target = {},
+                   load::SloConfig config = {});
+
+  /// Per-tenant HPA over the tenant's router. The template's service (and
+  /// name, if empty) default to the tenant name.
+  void enable_tenant_hpa(const std::string& tenant,
+                         cluster::PodSpec replica_template,
+                         server::WebConfig web,
+                         cluster::HpaConfig config = {});
+
   /// Rewrite every pod's cgroup limits live from observed usage percentiles.
   void enable_vpa(cluster::VpaConfig config = {});
 
@@ -205,6 +239,10 @@ class FleetScenario {
   cluster::Cluster& cluster() { return cluster_; }
   cluster::ClusterScheduler& scheduler() { return scheduler_; }
   cluster::RequestRouter* router() { return router_.get(); }
+  cluster::RequestRouter* tenant_router(const std::string& tenant);
+  cluster::HorizontalAutoscaler* tenant_hpa(const std::string& tenant);
+  load::OpenLoopDriver* driver() { return driver_.get(); }
+  load::SloAccountant* slo() { return slo_.get(); }
   cluster::Rebalancer* rebalancer() { return rebalancer_.get(); }
   cluster::FailureDetector* detector() { return detector_.get(); }
   cluster::RestartManager* restarts() { return restarts_.get(); }
@@ -215,11 +253,22 @@ class FleetScenario {
   cluster::ProfileStore* profiles() { return profiles_.get(); }
 
  private:
+  struct Tenant {
+    std::string name;
+    std::unique_ptr<cluster::RequestRouter> router;
+    std::unique_ptr<cluster::HorizontalAutoscaler> hpa;
+  };
+
+  Tenant* find_tenant(const std::string& name);
+
   cluster::Cluster cluster_;
   cluster::ClusterScheduler scheduler_;
   std::string default_strategy_ = "effective";
   std::unique_ptr<cluster::ProfileStore> profiles_;
   std::unique_ptr<cluster::RequestRouter> router_;
+  std::vector<Tenant> tenants_;  ///< declaration order = injection order
+  std::unique_ptr<load::OpenLoopDriver> driver_;
+  std::unique_ptr<load::SloAccountant> slo_;
   std::unique_ptr<cluster::Rebalancer> rebalancer_;
   std::unique_ptr<cluster::FailureDetector> detector_;
   std::unique_ptr<cluster::RestartManager> restarts_;

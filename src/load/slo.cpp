@@ -1,0 +1,202 @@
+#include "src/load/slo.h"
+
+#include <algorithm>
+
+#include "src/container/host.h"
+#include "src/util/assert.h"
+
+namespace arv::load {
+namespace {
+
+/// The designated control-plane host whose sysfs serves /sys/arv/slo/.
+constexpr int kControlHost = 0;
+
+}  // namespace
+
+SloAccountant::SloAccountant(cluster::Cluster& cluster, SloConfig config)
+    : cluster_(cluster), config_(config) {
+  ARV_ASSERT(config_.period > 0);
+  ARV_ASSERT(config_.burn_window >= config_.period);
+}
+
+SloAccountant::~SloAccountant() {
+  if (cluster_.host_count() > kControlHost) {
+    cluster_.host(kControlHost)
+        .sysfs()
+        .remove_control_subtree("/sys/arv/slo/");
+  }
+}
+
+void SloAccountant::declare(const std::string& tenant,
+                            cluster::RequestRouter& router, SloTarget target) {
+  ARV_ASSERT_MSG(find(tenant) == nullptr, "tenant already declared");
+  ARV_ASSERT(target.availability_permille > 0 &&
+             target.availability_permille <= 1000);
+  ARV_ASSERT(target.p99_target > 0);
+  tenants_.push_back(Tenant{});
+  Tenant& t = tenants_.back();
+  t.name = tenant;
+  t.router = &router;
+  t.target = target;
+
+  if (obs::TraceRecorder* rec = cluster_.trace()) {
+    const std::string scope = "slo." + tenant;
+    rec->add_gauge("p99_us", scope, [&t] { return t.p99; });
+    rec->add_gauge("availability_permille", scope,
+                   [&t] { return t.availability; });
+    rec->add_gauge("budget_remaining_permille", scope,
+                   [&t] { return t.budget_remaining; });
+    rec->add_gauge("burn_rate_permille", scope, [&t] { return t.burn_rate; });
+  }
+  if (cluster_.host_count() > kControlHost) {
+    vfs::VirtualSysfs& sysfs = cluster_.host(kControlHost).sysfs();
+    const std::string prefix = "/sys/arv/slo/" + tenant + "/";
+    sysfs.register_control_file(
+        prefix + "objective",
+        [&t] {
+          return "availability_permille " +
+                 std::to_string(t.target.availability_permille) +
+                 "\np99_target_us " + std::to_string(t.target.p99_target) +
+                 "\n";
+        },
+        &t.gen);
+    sysfs.register_control_file(
+        prefix + "availability_permille",
+        [&t] { return std::to_string(t.availability) + "\n"; }, &t.gen);
+    sysfs.register_control_file(
+        prefix + "p99_us", [&t] { return std::to_string(t.p99) + "\n"; },
+        &t.gen);
+    sysfs.register_control_file(
+        prefix + "budget_remaining_permille",
+        [&t] { return std::to_string(t.budget_remaining) + "\n"; }, &t.gen);
+    sysfs.register_control_file(
+        prefix + "burn_rate_permille",
+        [&t] { return std::to_string(t.burn_rate) + "\n"; }, &t.gen);
+    sysfs.register_control_file(
+        prefix + "generated",
+        [&t] { return std::to_string(t.generated) + "\n"; }, &t.gen);
+    sysfs.register_control_file(
+        prefix + "good", [&t] { return std::to_string(t.good) + "\n"; },
+        &t.gen);
+  }
+}
+
+const SloAccountant::Tenant* SloAccountant::find(
+    const std::string& tenant) const {
+  for (const Tenant& t : tenants_) {
+    if (t.name == tenant) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+void SloAccountant::refresh(Tenant& t, SimTime now) {
+  const std::uint64_t generated = t.router->generated();
+  const std::uint64_t good = t.router->routed();
+  const std::uint64_t bad = generated - good;
+
+  const std::int64_t availability =
+      generated == 0
+          ? 1000
+          : static_cast<std::int64_t>(good * 1000 / generated);
+
+  // Lifetime error budget: how much of the allowed failure mass is left.
+  const auto allowed = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(1000 - t.target.availability_permille) *
+      generated / 1000);
+  std::int64_t remaining = 1000;
+  if (allowed > 0) {
+    remaining = std::clamp<std::int64_t>(
+        (allowed - static_cast<std::int64_t>(bad)) * 1000 / allowed, 0, 1000);
+  } else if (bad > 0) {
+    remaining = 0;  // any failure with a zero-tolerance budget
+  }
+
+  // Trailing burn rate: bad-vs-allowed over the window, 1000 = at pace.
+  t.window.push_back({now, static_cast<std::int64_t>(generated),
+                      static_cast<std::int64_t>(bad)});
+  while (t.window.size() > 1 && t.window.front()[0] + config_.burn_window < now) {
+    t.window.pop_front();
+  }
+  const std::int64_t window_generated = t.window.back()[1] - t.window.front()[1];
+  const std::int64_t window_bad = t.window.back()[2] - t.window.front()[2];
+  const std::int64_t window_allowed =
+      (1000 - t.target.availability_permille) * window_generated / 1000;
+  std::int64_t burn = 0;
+  if (window_allowed > 0) {
+    burn = window_bad * 1000 / window_allowed;
+  } else if (window_bad > 0) {
+    burn = 1000000;  // zero tolerance, nonzero failures: off the chart
+  }
+
+  // p99 over the tenant's aggregate latency distribution (live sinks merged
+  // with migration-archived history — the user's view, not one replica's).
+  const server::RequestStats agg = t.router->aggregate();
+  const std::int64_t p99 =
+      agg.latency_hist.count() == 0 ? 0 : agg.latency_hist.percentile(99.0);
+
+  const bool changed = generated != t.generated || good != t.good ||
+                       availability != t.availability || p99 != t.p99 ||
+                       remaining != t.budget_remaining || burn != t.burn_rate;
+  t.generated = generated;
+  t.good = good;
+  t.availability = availability;
+  t.budget_remaining = remaining;
+  t.burn_rate = burn;
+  if (p99 > static_cast<std::int64_t>(t.target.p99_target)) {
+    ++t.violations;  // one per accounting round spent over the objective
+  }
+  t.p99 = p99;
+  if (changed) {
+    ++t.gen;  // invalidate this tenant's cached renders, and only then
+  }
+}
+
+void SloAccountant::tick(SimTime now, SimDuration /*dt*/) {
+  for (Tenant& t : tenants_) {
+    refresh(t, now);
+  }
+}
+
+std::int64_t SloAccountant::availability_permille(
+    const std::string& tenant) const {
+  const Tenant* t = find(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  return t->availability;
+}
+
+std::int64_t SloAccountant::p99_us(const std::string& tenant) const {
+  const Tenant* t = find(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  return t->p99;
+}
+
+std::int64_t SloAccountant::budget_remaining_permille(
+    const std::string& tenant) const {
+  const Tenant* t = find(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  return t->budget_remaining;
+}
+
+std::int64_t SloAccountant::burn_rate_permille(
+    const std::string& tenant) const {
+  const Tenant* t = find(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  return t->burn_rate;
+}
+
+std::uint64_t SloAccountant::p99_violations(const std::string& tenant) const {
+  const Tenant* t = find(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  return t->violations;
+}
+
+bool SloAccountant::attaining(const std::string& tenant) const {
+  const Tenant* t = find(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  return t->availability >= t->target.availability_permille &&
+         t->p99 <= static_cast<std::int64_t>(t->target.p99_target);
+}
+
+}  // namespace arv::load

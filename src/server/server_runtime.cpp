@@ -8,9 +8,6 @@
 namespace arv::server {
 namespace {
 
-/// Bound the per-request latency log; the running stats keep exact moments.
-constexpr std::size_t kLatencyReservoir = 20000;
-
 double efficiency(int threads, double granted_cpus, double alpha, double beta) {
   const double oversub = std::max(0.0, static_cast<double>(threads) - granted_cpus);
   return 1.0 / (1.0 + alpha * static_cast<double>(threads - 1)) /
@@ -18,18 +15,18 @@ double efficiency(int threads, double granted_cpus, double alpha, double beta) {
 }
 
 void record_latency(RequestStats& stats, SimTime now, SimTime arrival) {
-  const double latency = static_cast<double>(now - arrival);
-  stats.latency_us.add(latency);
-  if (stats.latencies.size() < kLatencyReservoir) {
-    stats.latencies.push_back(latency);
-  }
+  const SimDuration latency = now - arrival;
+  stats.latency_us.add(static_cast<double>(latency));
+  stats.latency_hist.record(latency);
   ++stats.completed;
 }
 
 }  // namespace
 
-double RequestStats::p95_ms() const {
-  return percentile(latencies, 95.0) / 1000.0;
+double RequestStats::p95_ms() const { return percentile_ms(95.0); }
+
+double RequestStats::percentile_ms(double p) const {
+  return static_cast<double>(latency_hist.percentile(p)) / 1000.0;
 }
 
 void RequestStats::merge(const RequestStats& other) {
@@ -37,8 +34,7 @@ void RequestStats::merge(const RequestStats& other) {
   arrived += other.arrived;
   dropped += other.dropped;
   latency_us.merge(other.latency_us);
-  latencies.insert(latencies.end(), other.latencies.begin(),
-                   other.latencies.end());
+  latency_hist.merge(other.latency_hist);
 }
 
 double RequestStats::throughput_per_sec(SimDuration elapsed) const {
@@ -102,17 +98,17 @@ void WorkerPoolServer::admit_arrivals(SimTime now, SimDuration dt) {
       ++stats_.dropped;  // listen backlog overflow
       continue;
     }
-    queue_.push_back(now);
+    queue_.push_back({now, config_.service_cpu});
   }
 }
 
-bool WorkerPoolServer::inject_request(SimTime now) {
+bool WorkerPoolServer::inject_request(SimTime now, CpuTime cost) {
   ++stats_.arrived;
   if (queue_.size() >= config_.max_queue) {
     ++stats_.dropped;
     return false;
   }
-  queue_.push_back(now);
+  queue_.push_back({now, cost > 0 ? cost : config_.service_cpu});
   return true;
 }
 
@@ -138,9 +134,9 @@ void WorkerPoolServer::consume(SimTime now, SimDuration dt, CpuTime grant) {
       current_request_progress_;
   current_request_progress_ = 0;
   while (useful > 0 && !queue_.empty()) {
-    if (useful >= config_.service_cpu) {
-      useful -= config_.service_cpu;
-      record_latency(stats_, now, queue_.front());
+    if (useful >= queue_.front().cost) {
+      useful -= queue_.front().cost;
+      record_latency(stats_, now, queue_.front().arrival);
       queue_.pop_front();
     } else {
       current_request_progress_ = useful;

@@ -21,6 +21,7 @@
 
 #include "src/container/container.h"
 #include "src/sched/fair_scheduler.h"
+#include "src/util/latency_histogram.h"
 #include "src/util/stats.h"
 #include "src/util/types.h"
 
@@ -41,9 +42,16 @@ struct RequestStats {
   /// carries a replica's history across migrations and crashes.
   std::uint64_t dropped = 0;
   RunningStats latency_us;
-  std::vector<double> latencies;  ///< per-request, for percentiles
+  /// Per-request latency distribution. A bounded log-bucket sketch (<= 6.25%
+  /// relative error, exact merge) instead of a raw sample vector: at the
+  /// workload engine's millions-of-requests scale a full sample log is O(n)
+  /// memory and the old bounded reservoir truncated exactly the tail that
+  /// p99 accounting needs.
+  util::LatencyHistogram latency_hist;
 
   double p95_ms() const;
+  /// Nearest-rank latency percentile in milliseconds, p in [0, 100].
+  double percentile_ms(double p) const;
   double throughput_per_sec(SimDuration elapsed) const;
 
   /// Fold another stats block into this one (cluster-level aggregation and
@@ -80,7 +88,9 @@ class WorkerPoolServer : public sched::Schedulable {
 
   /// Externally-driven arrival (request routing): enqueue one request that
   /// arrived `now`. Honors the accept-queue bound; false when dropped.
-  bool inject_request(SimTime now);
+  /// `cost` is the request's CPU demand; 0 means the config's service_cpu
+  /// (the open-loop workload engine injects heavy-tailed per-request costs).
+  bool inject_request(SimTime now, CpuTime cost = 0);
 
   int workers() const { return workers_; }
   std::size_t queue_depth() const { return queue_.size(); }
@@ -89,6 +99,13 @@ class WorkerPoolServer : public sched::Schedulable {
   const std::vector<int>& worker_trace() const { return worker_trace_; }
 
  private:
+  /// One accepted request: arrival time plus its (possibly heterogeneous)
+  /// CPU cost, resolved at admission so the drain loop never re-derives it.
+  struct QueuedRequest {
+    SimTime arrival = 0;
+    CpuTime cost = 0;
+  };
+
   int detect_workers() const;
   void admit_arrivals(SimTime now, SimDuration dt);
 
@@ -97,7 +114,7 @@ class WorkerPoolServer : public sched::Schedulable {
   proc::Pid pid_;
   WebConfig config_;
   int workers_;
-  std::deque<SimTime> queue_;  ///< arrival time of each queued request
+  std::deque<QueuedRequest> queue_;
   CpuTime current_request_progress_ = 0;
   SimTime next_resize_ = 0;
   double arrival_accumulator_ = 0;

@@ -210,12 +210,26 @@ TEST(CacheServer, ResizeFollowsEffectiveMemory) {
 TEST(RequestStats, PercentileAndThroughput) {
   RequestStats stats;
   for (int i = 1; i <= 100; ++i) {
-    stats.latencies.push_back(i * 1000.0);  // 1..100 ms
+    stats.latency_hist.record(i * 1000);  // 1..100 ms
     stats.latency_us.add(i * 1000.0);
     ++stats.completed;
   }
-  EXPECT_NEAR(stats.p95_ms(), 95.0, 1.0);
+  // The log-bucket sketch guarantees <= 6.25% relative error at this scale.
+  EXPECT_NEAR(stats.p95_ms(), 95.0, 95.0 * 0.0625);
   EXPECT_DOUBLE_EQ(stats.throughput_per_sec(10 * sec), 10.0);
+}
+
+TEST(RequestStats, MergeFoldsHistograms) {
+  RequestStats a;
+  RequestStats b;
+  a.latency_hist.record(1000);
+  a.completed = 1;
+  b.latency_hist.record(100000);
+  b.completed = 1;
+  a.merge(b);
+  EXPECT_EQ(a.completed, 2u);
+  EXPECT_EQ(a.latency_hist.count(), 2u);
+  EXPECT_NEAR(a.percentile_ms(99.0), 100.0, 100.0 * 0.0625);
 }
 
 }  // namespace
