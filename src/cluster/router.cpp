@@ -2,18 +2,26 @@
 
 #include <algorithm>
 
+#include "src/cluster/overload.h"
 #include "src/obs/trace_recorder.h"
 #include "src/server/server_runtime.h"
 #include "src/util/assert.h"
 
 namespace arv::cluster {
 
+RouterConfig RouterConfig::validated() const {
+  RouterConfig v = *this;
+  v.arrivals_per_sec = std::max(0.0, v.arrivals_per_sec);
+  v.max_retries = std::max(0, v.max_retries);
+  v.breaker_threshold = std::max(1, v.breaker_threshold);
+  if (v.breaker_open <= 0) {
+    v.breaker_open = RouterConfig{}.breaker_open;
+  }
+  return v;
+}
+
 RequestRouter::RequestRouter(Cluster& cluster, RouterConfig config)
-    : cluster_(cluster), config_(config) {
-  ARV_ASSERT(config_.arrivals_per_sec >= 0);
-  ARV_ASSERT(config_.max_retries >= 0);
-  ARV_ASSERT(config_.breaker_threshold >= 1);
-  ARV_ASSERT(config_.breaker_open > 0);
+    : cluster_(cluster), config_(config.validated()) {
   if (obs::TraceRecorder* trace = cluster_.trace()) {
     trace->add_counter("router.generated", "", [this] {
       return static_cast<std::int64_t>(generated_);
@@ -31,6 +39,12 @@ RequestRouter::RequestRouter(Cluster& cluster, RouterConfig config)
                        [this] { return static_cast<std::int64_t>(shed_); });
     trace->add_counter("router.retries", "", [this] {
       return static_cast<std::int64_t>(retries_);
+    });
+    trace->add_counter("router.rejected", "", [this] {
+      return static_cast<std::int64_t>(rejected_);
+    });
+    trace->add_counter("router.degraded", "", [this] {
+      return static_cast<std::int64_t>(degraded_);
     });
     trace->add_counter("router.breaker_trips", "", [this] {
       return static_cast<std::int64_t>(breaker_trips_);
@@ -58,6 +72,26 @@ bool RequestRouter::add_replica(int pod_id) {
 
 void RequestRouter::set_rate(double arrivals_per_sec) {
   config_.arrivals_per_sec = std::max(0.0, arrivals_per_sec);
+}
+
+void RequestRouter::attach_admission(AdmissionController* admission, int slot) {
+  ARV_ASSERT_MSG(admission_ == nullptr || admission == admission_,
+                 "router already has an admission controller");
+  admission_ = admission;
+  admission_slot_ = slot;
+}
+
+int RequestRouter::live_replicas() const {
+  const FleetView& fleet = cluster_.fleet_view();
+  int live = 0;
+  for (const Replica& replica : replicas_) {
+    if (replica.pod < fleet.pod_count() &&
+        fleet.pods[static_cast<std::size_t>(replica.pod)].running &&
+        sink(replica.pod) != nullptr) {
+      ++live;
+    }
+  }
+  return live;
 }
 
 server::WorkerPoolServer* RequestRouter::sink(int pod_id) const {
@@ -123,6 +157,14 @@ void RequestRouter::record_failure(Replica& replica, SimTime now) {
 
 void RequestRouter::route_one(SimTime now, CpuTime cost) {
   ++generated_;
+  // Front-door admission (overload.h): criticality-class shedding and the
+  // tenant's token bucket run before any replica is considered, so rejected
+  // requests cost nothing downstream.
+  if (admission_ != nullptr && !admission_->admit(admission_slot_, now)) {
+    ++rejected_;
+    return;
+  }
+  ++admitted_;
   // Live = the shared fleet snapshot shows the replica running AND its sink
   // exists right now (not stopped, crashed, or frozen mid-migration);
   // admitted = live and its breaker lets this attempt pass. The snapshot is
@@ -152,11 +194,19 @@ void RequestRouter::route_one(SimTime now, CpuTime cost) {
     ++shed_;  // replicas exist but every breaker is open: protect them
     return;
   }
+  // Brownout is sampled once per request: the whole request is served
+  // degraded or not, however many attempts it takes.
+  const bool degraded = admission_ != nullptr && admission_->brownout();
   // Bounded retry: attempt the JSQ-best candidate, then the next-best on a
-  // refused injection, never re-trying a replica within one request.
+  // refused injection, never re-trying a replica within one request. Every
+  // retry beyond the first attempt draws on the fleet-wide retry budget, so
+  // a failover cannot multiply offered load into a retry storm.
   const int max_attempts = 1 + config_.max_retries;
   for (int attempt = 0; attempt < max_attempts && !candidates_.empty();
        ++attempt) {
+    if (attempt > 0 && admission_ != nullptr && !admission_->allow_retry()) {
+      break;  // budget exhausted: give up instead of amplifying
+    }
     std::size_t best_pos = 0;
     std::size_t best_depth = 0;
     for (std::size_t pos = 0; pos < candidates_.size(); ++pos) {
@@ -171,16 +221,22 @@ void RequestRouter::route_one(SimTime now, CpuTime cost) {
     if (attempt > 0) {
       ++retries_;
     }
-    if (sink(replica.pod)->inject_request(now, cost)) {
+    if (sink(replica.pod)->inject_request(now, cost, degraded)) {
       record_success(replica);
       ++routed_;
+      if (degraded) {
+        ++degraded_;
+      }
+      if (admission_ != nullptr) {
+        admission_->on_success();
+      }
       return;
     }
     record_failure(replica, now);
     candidates_.erase(candidates_.begin() +
                       static_cast<std::ptrdiff_t>(best_pos));
   }
-  ++dropped_;  // every allowed attempt was refused
+  ++dropped_;  // every allowed attempt was refused (or the budget ran dry)
 }
 
 void RequestRouter::inject_batch(SimTime now, const CpuTime* costs,

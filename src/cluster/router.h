@@ -23,6 +23,12 @@
 // door, so "the fleet has no replicas" (unroutable) and "the fleet is
 // protecting itself" (shed) stay distinguishable. Every decision is
 // counter-driven: routing consumes no randomness even under faults.
+//
+// Overload (see overload.h and docs/FAULTS.md): with an AdmissionController
+// attached, every generated request first passes its front door (criticality
+// shedding + per-tenant token bucket → rejected), retries draw on a
+// fleet-wide budget refilled by successes, and while the controller holds
+// brownout every routed request is served as a degraded (cheaper) response.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +38,8 @@
 #include "src/sim/engine.h"
 
 namespace arv::cluster {
+
+class AdmissionController;
 
 struct RouterConfig {
   /// Open-loop arrival rate across the whole fleet.
@@ -43,6 +51,12 @@ struct RouterConfig {
   /// How long an open breaker blocks a replica before one probe request is
   /// let through (half-open).
   SimDuration breaker_open = 500 * units::msec;
+
+  /// Copy with every out-of-range knob clamped to its nearest legal value
+  /// (negative rate/retries → 0, threshold < 1 → 1, non-positive
+  /// breaker_open → the default). The constructor applies this, so a bad
+  /// config degrades to a sane one instead of corrupting breaker state.
+  RouterConfig validated() const;
 };
 
 /// One replica's circuit-breaker state (closed admits, open blocks,
@@ -79,6 +93,21 @@ class RequestRouter : public sim::TickComponent {
 
   /// Replicas currently enrolled (live or not; rotation never shrinks).
   int replica_count() const { return static_cast<int>(replicas_.size()); }
+  /// Pod id of the i-th enrolled replica (rotation order).
+  int replica_pod(int index) const {
+    return replicas_.at(static_cast<std::size_t>(index)).pod;
+  }
+  /// Replicas the shared fleet snapshot shows running with a live sink — the
+  /// denominator of the overload controller's queue-pressure signal.
+  int live_replicas() const;
+
+  /// Bind the front-door overload controller (see overload.h): every
+  /// generated request passes its admission gate, retries draw on its
+  /// fleet-wide budget, and routed requests are served degraded while it
+  /// holds brownout. `slot` is this router's tenant slot in the controller.
+  void attach_admission(AdmissionController* admission, int slot);
+
+  const RouterConfig& config() const { return config_; }
 
   // --- sim::TickComponent (dispatched by Cluster) ---------------------------
   void tick(SimTime now, SimDuration dt) override;
@@ -86,11 +115,18 @@ class RequestRouter : public sim::TickComponent {
   SimDuration tick_period() const override { return 0; }  // every tick
 
   // --- per-request dispositions (sum to generated()) ------------------------
+  // generated == admitted + rejected, and
+  // admitted == routed + dropped + unroutable + shed (without an admission
+  // controller every request is admitted, so the old identity still holds).
   std::uint64_t generated() const { return generated_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
   std::uint64_t routed() const { return routed_; }
   std::uint64_t unroutable() const { return unroutable_; }
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t shed() const { return shed_; }
+  /// Routed requests served as brownout (degraded) responses; <= routed().
+  std::uint64_t degraded() const { return degraded_; }
   // --- attempt-level accounting ---------------------------------------------
   std::uint64_t attempts() const { return attempts_; }
   std::uint64_t retries() const { return retries_; }
@@ -125,12 +161,17 @@ class RequestRouter : public sim::TickComponent {
 
   Cluster& cluster_;
   RouterConfig config_;
+  AdmissionController* admission_ = nullptr;
+  int admission_slot_ = -1;
   std::vector<Replica> replicas_;  ///< rotation order = add order
   /// Candidate scratch reused across route_one calls (capacity persists, so
   /// routing a request allocates nothing once the rotation is warm).
   std::vector<std::size_t> candidates_;
   double accumulator_ = 0;
   std::uint64_t generated_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t degraded_ = 0;
   std::uint64_t routed_ = 0;
   std::uint64_t unroutable_ = 0;
   std::uint64_t dropped_ = 0;

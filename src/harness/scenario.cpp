@@ -198,7 +198,23 @@ void FleetScenario::add_tenant(const std::string& name,
   tenant.name = name;
   tenant.router = std::make_unique<cluster::RequestRouter>(cluster_, router);
   cluster_.add_component(tenant.router.get());
+  if (admission_ != nullptr) {
+    admission_->register_tenant(name, *tenant.router);
+  }
   tenants_.push_back(std::move(tenant));
+}
+
+void FleetScenario::enable_admission(cluster::AdmissionConfig config) {
+  ARV_ASSERT_MSG(admission_ == nullptr, "admission already enabled");
+  admission_ =
+      std::make_unique<cluster::AdmissionController>(cluster_, config);
+  cluster_.add_component(admission_.get());
+  if (router_ != nullptr) {
+    admission_->register_tenant("default", *router_);
+  }
+  for (Tenant& tenant : tenants_) {
+    admission_->register_tenant(tenant.name, *tenant.router);
+  }
 }
 
 int FleetScenario::place_tenant_web_pod(const std::string& tenant,
@@ -243,6 +259,12 @@ void FleetScenario::declare_slo(const std::string& tenant, load::SloTarget targe
     cluster_.add_component(slo_.get());
   }
   slo_->declare(tenant, *t->router, target);
+  if (admission_ != nullptr) {
+    // The SLO declaration is the source of truth for how critical a tenant
+    // is to the front door.
+    admission_->set_criticality(
+        tenant, cluster::criticality_for_slo(target.availability_permille));
+  }
 }
 
 void FleetScenario::enable_tenant_hpa(const std::string& tenant,

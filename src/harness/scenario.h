@@ -13,6 +13,7 @@
 #include "src/cluster/autoscale.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/faults.h"
+#include "src/cluster/overload.h"
 #include "src/cluster/profile.h"
 #include "src/cluster/rebalancer.h"
 #include "src/cluster/recovery.h"
@@ -216,9 +217,17 @@ class FleetScenario {
   void use_trace(load::CompiledTrace trace, load::DriverConfig config = {});
 
   /// Declare a tenant's SLO (creates the SloAccountant on first use). Call
-  /// after use_trace() so the accountant reads post-injection rounds.
+  /// after use_trace() so the accountant reads post-injection rounds. With
+  /// the admission controller enabled, the tenant's criticality class is
+  /// derived from the declared availability objective.
   void declare_slo(const std::string& tenant, load::SloTarget target = {},
                    load::SloConfig config = {});
+
+  /// Arm the overload control plane (see overload.h): the plain router and
+  /// every tenant declared so far (and later) enroll under one
+  /// AdmissionController — front-door shedding, the fleet-wide retry
+  /// budget, adaptive per-replica concurrency limits, and brownout.
+  void enable_admission(cluster::AdmissionConfig config = {});
 
   /// Per-tenant HPA over the tenant's router. The template's service (and
   /// name, if empty) default to the tenant name.
@@ -243,6 +252,7 @@ class FleetScenario {
   cluster::HorizontalAutoscaler* tenant_hpa(const std::string& tenant);
   load::OpenLoopDriver* driver() { return driver_.get(); }
   load::SloAccountant* slo() { return slo_.get(); }
+  cluster::AdmissionController* admission() { return admission_.get(); }
   cluster::Rebalancer* rebalancer() { return rebalancer_.get(); }
   cluster::FailureDetector* detector() { return detector_.get(); }
   cluster::RestartManager* restarts() { return restarts_.get(); }
@@ -269,6 +279,7 @@ class FleetScenario {
   std::vector<Tenant> tenants_;  ///< declaration order = injection order
   std::unique_ptr<load::OpenLoopDriver> driver_;
   std::unique_ptr<load::SloAccountant> slo_;
+  std::unique_ptr<cluster::AdmissionController> admission_;
   std::unique_ptr<cluster::Rebalancer> rebalancer_;
   std::unique_ptr<cluster::FailureDetector> detector_;
   std::unique_ptr<cluster::RestartManager> restarts_;

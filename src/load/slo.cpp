@@ -33,6 +33,8 @@ void SloAccountant::declare(const std::string& tenant,
   ARV_ASSERT(target.availability_permille > 0 &&
              target.availability_permille <= 1000);
   ARV_ASSERT(target.p99_target > 0);
+  ARV_ASSERT(target.degraded_weight_permille >= 0 &&
+             target.degraded_weight_permille <= 1000);
   tenants_.push_back(Tenant{});
   Tenant& t = tenants_.back();
   t.name = tenant;
@@ -47,6 +49,8 @@ void SloAccountant::declare(const std::string& tenant,
     rec->add_gauge("budget_remaining_permille", scope,
                    [&t] { return t.budget_remaining; });
     rec->add_gauge("burn_rate_permille", scope, [&t] { return t.burn_rate; });
+    rec->add_gauge("degraded", scope,
+                   [&t] { return static_cast<std::int64_t>(t.degraded); });
   }
   if (cluster_.host_count() > kControlHost) {
     vfs::VirtualSysfs& sysfs = cluster_.host(kControlHost).sysfs();
@@ -78,6 +82,9 @@ void SloAccountant::declare(const std::string& tenant,
     sysfs.register_control_file(
         prefix + "good", [&t] { return std::to_string(t.good) + "\n"; },
         &t.gen);
+    sysfs.register_control_file(
+        prefix + "degraded",
+        [&t] { return std::to_string(t.degraded) + "\n"; }, &t.gen);
   }
 }
 
@@ -94,39 +101,46 @@ const SloAccountant::Tenant* SloAccountant::find(
 void SloAccountant::refresh(Tenant& t, SimTime now) {
   const std::uint64_t generated = t.router->generated();
   const std::uint64_t good = t.router->routed();
-  const std::uint64_t bad = generated - good;
+  const std::uint64_t degraded = t.router->degraded();
+  // Failure mass in milli-failures: a hard failure (dropped, rejected,
+  // unroutable, shed) costs 1000, a degraded (brownout) reply costs its
+  // configured partial weight. Exactly the old books when degraded == 0.
+  const std::int64_t bad_milli =
+      static_cast<std::int64_t>(generated - good) * 1000 +
+      static_cast<std::int64_t>(degraded) * t.target.degraded_weight_permille;
 
   const std::int64_t availability =
       generated == 0
           ? 1000
-          : static_cast<std::int64_t>(good * 1000 / generated);
+          : (static_cast<std::int64_t>(generated) * 1000 - bad_milli) /
+                static_cast<std::int64_t>(generated);
 
   // Lifetime error budget: how much of the allowed failure mass is left.
-  const auto allowed = static_cast<std::int64_t>(
-      static_cast<std::uint64_t>(1000 - t.target.availability_permille) *
-      generated / 1000);
+  const std::int64_t allowed_milli =
+      (1000 - t.target.availability_permille) *
+      static_cast<std::int64_t>(generated);
   std::int64_t remaining = 1000;
-  if (allowed > 0) {
+  if (allowed_milli > 0) {
     remaining = std::clamp<std::int64_t>(
-        (allowed - static_cast<std::int64_t>(bad)) * 1000 / allowed, 0, 1000);
-  } else if (bad > 0) {
+        (allowed_milli - bad_milli) * 1000 / allowed_milli, 0, 1000);
+  } else if (bad_milli > 0) {
     remaining = 0;  // any failure with a zero-tolerance budget
   }
 
   // Trailing burn rate: bad-vs-allowed over the window, 1000 = at pace.
-  t.window.push_back({now, static_cast<std::int64_t>(generated),
-                      static_cast<std::int64_t>(bad)});
+  t.window.push_back({now, static_cast<std::int64_t>(generated), bad_milli});
   while (t.window.size() > 1 && t.window.front()[0] + config_.burn_window < now) {
     t.window.pop_front();
   }
   const std::int64_t window_generated = t.window.back()[1] - t.window.front()[1];
-  const std::int64_t window_bad = t.window.back()[2] - t.window.front()[2];
-  const std::int64_t window_allowed =
-      (1000 - t.target.availability_permille) * window_generated / 1000;
+  const std::int64_t window_bad_milli =
+      t.window.back()[2] - t.window.front()[2];
+  const std::int64_t window_allowed_milli =
+      (1000 - t.target.availability_permille) * window_generated;
   std::int64_t burn = 0;
-  if (window_allowed > 0) {
-    burn = window_bad * 1000 / window_allowed;
-  } else if (window_bad > 0) {
+  if (window_allowed_milli > 0) {
+    burn = window_bad_milli * 1000 / window_allowed_milli;
+  } else if (window_bad_milli > 0) {
     burn = 1000000;  // zero tolerance, nonzero failures: off the chart
   }
 
@@ -137,10 +151,12 @@ void SloAccountant::refresh(Tenant& t, SimTime now) {
       agg.latency_hist.count() == 0 ? 0 : agg.latency_hist.percentile(99.0);
 
   const bool changed = generated != t.generated || good != t.good ||
+                       degraded != t.degraded ||
                        availability != t.availability || p99 != t.p99 ||
                        remaining != t.budget_remaining || burn != t.burn_rate;
   t.generated = generated;
   t.good = good;
+  t.degraded = degraded;
   t.availability = availability;
   t.budget_remaining = remaining;
   t.burn_rate = burn;
@@ -157,6 +173,12 @@ void SloAccountant::tick(SimTime now, SimDuration /*dt*/) {
   for (Tenant& t : tenants_) {
     refresh(t, now);
   }
+}
+
+std::uint64_t SloAccountant::degraded(const std::string& tenant) const {
+  const Tenant* t = find(tenant);
+  ARV_ASSERT_MSG(t != nullptr, "unknown tenant");
+  return t->degraded;
 }
 
 std::int64_t SloAccountant::availability_permille(

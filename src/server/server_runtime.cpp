@@ -33,6 +33,7 @@ void RequestStats::merge(const RequestStats& other) {
   completed += other.completed;
   arrived += other.arrived;
   dropped += other.dropped;
+  degraded += other.degraded;
   latency_us.merge(other.latency_us);
   latency_hist.merge(other.latency_hist);
 }
@@ -53,9 +54,13 @@ WorkerPoolServer::WorkerPoolServer(container::Host& host,
       container_(target),
       pid_(target.spawn_process("httpd")),
       config_(config),
-      workers_(detect_workers()) {
+      workers_(detect_workers()),
+      queue_limit_(config.max_queue) {
   ARV_ASSERT(config_.arrivals_per_sec >= 0);  // 0 = router-driven arrivals
   ARV_ASSERT(config_.service_cpu > 0);
+  ARV_ASSERT(config_.max_queue >= 1);
+  ARV_ASSERT(config_.degraded_cost_permille >= 1 &&
+             config_.degraded_cost_permille <= 1000);
   worker_trace_.push_back(workers_);
   if (config_.resize_interval > 0) {
     next_resize_ = host_.now() + config_.resize_interval;
@@ -94,7 +99,7 @@ void WorkerPoolServer::admit_arrivals(SimTime now, SimDuration dt) {
   while (arrival_accumulator_ >= 1.0) {
     arrival_accumulator_ -= 1.0;
     ++stats_.arrived;
-    if (queue_.size() >= config_.max_queue) {
+    if (queue_.size() >= queue_limit_) {
       ++stats_.dropped;  // listen backlog overflow
       continue;
     }
@@ -102,14 +107,24 @@ void WorkerPoolServer::admit_arrivals(SimTime now, SimDuration dt) {
   }
 }
 
-bool WorkerPoolServer::inject_request(SimTime now, CpuTime cost) {
+bool WorkerPoolServer::inject_request(SimTime now, CpuTime cost, bool degraded) {
   ++stats_.arrived;
-  if (queue_.size() >= config_.max_queue) {
+  if (queue_.size() >= queue_limit_) {
     ++stats_.dropped;
     return false;
   }
-  queue_.push_back({now, cost > 0 ? cost : config_.service_cpu});
+  CpuTime resolved = cost > 0 ? cost : config_.service_cpu;
+  if (degraded) {
+    resolved = std::max<CpuTime>(
+        1, resolved * config_.degraded_cost_permille / 1000);
+    ++stats_.degraded;
+  }
+  queue_.push_back({now, resolved});
   return true;
+}
+
+void WorkerPoolServer::set_queue_limit(std::size_t limit) {
+  queue_limit_ = std::clamp<std::size_t>(limit, 1, config_.max_queue);
 }
 
 void WorkerPoolServer::consume(SimTime now, SimDuration dt, CpuTime grant) {

@@ -125,4 +125,33 @@ std::uint64_t LatencyHistogram::count_above(std::int64_t threshold) const {
   return above;
 }
 
+std::uint64_t LatencyHistogram::count_since(
+    const LatencyHistogram& baseline) const {
+  ARV_ASSERT_MSG(count_ >= baseline.count_,
+                 "baseline is not an earlier snapshot of this stream");
+  return count_ - baseline.count_;
+}
+
+std::int64_t LatencyHistogram::percentile_since(
+    const LatencyHistogram& baseline, double p) const {
+  const std::uint64_t window = count_since(baseline);
+  if (window == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(window))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    ARV_ASSERT(counts_[i] >= baseline.counts_[i]);
+    seen += counts_[i] - baseline.counts_[i];
+    if (seen >= rank) {
+      // max_ bounds the whole stream, so it also bounds the window.
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
 }  // namespace arv::util

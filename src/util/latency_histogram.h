@@ -65,6 +65,21 @@ class LatencyHistogram {
   /// most the one straddling bucket) — the SLO latency-violation probe.
   std::uint64_t count_above(std::int64_t threshold) const;
 
+  // --- windowed (delta) views ------------------------------------------------
+  // A cumulative histogram snapshotted at round boundaries gives an exact
+  // per-round distribution: bucket counts only ever grow, so subtracting the
+  // previous round's snapshot bucket-wise isolates the samples recorded in
+  // between. `baseline` must be an earlier snapshot of the same (possibly
+  // merged) stream — every bucket of `baseline` must be <= this one's.
+
+  /// Samples recorded since `baseline` was captured.
+  std::uint64_t count_since(const LatencyHistogram& baseline) const;
+  /// Nearest-rank percentile over only the samples recorded since
+  /// `baseline` — the overload controller's round-latency signal. 0 when no
+  /// samples landed in between.
+  std::int64_t percentile_since(const LatencyHistogram& baseline,
+                                double p) const;
+
   // --- bucket geometry (exposed for the error-bound tests) -------------------
   static std::size_t bucket_of(std::int64_t value);
   /// Smallest / largest value mapping to bucket `index`.

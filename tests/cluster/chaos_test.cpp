@@ -1,15 +1,18 @@
 // Chaos suite: randomized fault plans replayed against a full fleet (router,
-// detector, restart manager, rebalancer-free) must (a) be byte-identical
-// under the same seed, (b) conserve every request, (c) keep the pod ledger
-// consistent, and (d) converge back to a fully-running fleet once the plan
-// drains. Iteration count scales with ARV_CHAOS_ITERS (CI runs hundreds;
-// the default keeps local runs fast).
+// detector, restart manager, and the whole overload control plane —
+// admission, retry budget, adaptive limits, brownout) must (a) be
+// byte-identical under the same seed, (b) conserve every request through the
+// extended front-door identities, (c) keep the pod ledger consistent, and
+// (d) converge back to a fully-running fleet once the plan drains. Iteration
+// count scales with ARV_CHAOS_ITERS (CI runs hundreds; the default keeps
+// local runs fast).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <string>
 
 #include "src/cluster/faults.h"
+#include "src/cluster/overload.h"
 #include "src/cluster/pod_workloads.h"
 #include "src/cluster/recovery.h"
 #include "src/cluster/router.h"
@@ -71,6 +74,10 @@ std::string run_chaos(std::uint64_t chaos_seed, bool verify, int threads = 1) {
   router.breaker_threshold = 5;
   router.breaker_open = 300 * msec;
   fleet.enable_router(router);
+  // Every overload guard armed: the conservation identities below must hold
+  // with admission shedding, the retry budget, AIMD limits, and brownout all
+  // active under fault chaos.
+  fleet.enable_admission();
   DetectorConfig detector;
   detector.period = 100 * msec;
   detector.miss_threshold = 2;
@@ -104,15 +111,24 @@ std::string run_chaos(std::uint64_t chaos_seed, bool verify, int threads = 1) {
 
   if (verify) {
     const RequestRouter& r = *fleet.router();
-    // --- request conservation, front door: every generated request has
-    // exactly one disposition.
-    EXPECT_EQ(r.generated(),
+    // --- request conservation, front door: every generated request is
+    // admitted or rejected, and every admitted request has exactly one
+    // disposition.
+    EXPECT_EQ(r.generated(), r.admitted() + r.rejected());
+    EXPECT_EQ(r.admitted(),
               r.routed() + r.dropped() + r.unroutable() + r.shed());
+    const AdmissionController& adm = *fleet.admission();
+    EXPECT_EQ(adm.admitted(), r.admitted());
+    EXPECT_EQ(adm.rejected(), r.rejected());
     // --- attempt-level: every injection attempt landed in some sink's
     // arrived counter (live or archived), refusals in its dropped counter.
     const server::RequestStats agg = r.aggregate();
     EXPECT_EQ(agg.arrived, r.attempts());
     EXPECT_EQ(agg.dropped, r.attempts() - r.routed());
+    // --- brownout accounting: every degraded service matches a degraded
+    // routing decision, through any number of harvests.
+    EXPECT_EQ(agg.degraded, r.degraded());
+    EXPECT_LE(r.degraded(), r.routed());
     // --- routed requests either completed, are still queued, or died with
     // a torn-down sink (migration/crash/stop) — none vanish.
     std::uint64_t lost = 0;
@@ -165,11 +181,12 @@ TEST(Chaos, InvariantsHoldAndTracesAreByteIdentical) {
   for (int i = 0; i < iters; ++i) {
     const std::uint64_t seed = 0xc7a05000u + static_cast<std::uint64_t>(i);
     SCOPED_TRACE("chaos seed " + std::to_string(seed));
-    // The verified run exercises the parallel host phase; the replay runs
-    // serial. Equality pins both the seed-replay contract and the
-    // thread-count-invariance contract under full fault chaos.
+    // The first run exercises the parallel host phase; the replay runs
+    // serial. Both verify — the conservation identities must hold at either
+    // thread count — and trace equality pins both the seed-replay contract
+    // and the thread-count-invariance contract under full fault chaos.
     const std::string first = run_chaos(seed, /*verify=*/true, /*threads=*/4);
-    const std::string second = run_chaos(seed, /*verify=*/false, /*threads=*/1);
+    const std::string second = run_chaos(seed, /*verify=*/true, /*threads=*/1);
     ASSERT_EQ(first, second)
         << "same seed + same plan must replay byte-identically, "
            "whatever the thread count";

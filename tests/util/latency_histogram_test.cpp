@@ -183,6 +183,46 @@ TEST(LatencyHistogram, CountAboveUndercountsByAtMostOneBucket) {
   EXPECT_GE(sketch + 40, exact);
 }
 
+TEST(LatencyHistogram, DeltaViewIsolatesTheWindow) {
+  // count_since/percentile_since against an older snapshot of the same
+  // cumulative stream must see exactly the samples recorded in between —
+  // the windowed-p99 primitive the overload controller's pressure signal
+  // uses on round-over-round snapshots.
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.record(1000);  // old regime: 1ms
+  }
+  const LatencyHistogram baseline = h;
+  LatencyHistogram window_only;
+  Rng rng(47);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.uniform_int(50000, 400000);  // new: 50-400ms
+    h.record(v);
+    window_only.record(v);
+  }
+  EXPECT_EQ(h.count_since(baseline), 500u);
+  for (const double p : {50.0, 90.0, 99.0}) {
+    EXPECT_EQ(h.percentile_since(baseline, p), window_only.percentile(p))
+        << "p" << p;
+  }
+  // The cumulative percentile is still dominated by the old regime; the
+  // delta view is what sees the shift.
+  EXPECT_LT(h.percentile(50.0), 2000);
+  EXPECT_GT(h.percentile_since(baseline, 50.0), 50000);
+}
+
+TEST(LatencyHistogram, DeltaAgainstSelfOrEmptyIsConsistent) {
+  LatencyHistogram h;
+  h.record(123);
+  h.record(456789);
+  // Against itself: an empty window.
+  EXPECT_EQ(h.count_since(h), 0u);
+  // Against an empty baseline: the whole stream.
+  const LatencyHistogram empty;
+  EXPECT_EQ(h.count_since(empty), h.count());
+  EXPECT_EQ(h.percentile_since(empty, 99.0), h.percentile(99.0));
+}
+
 TEST(LatencyHistogram, ResetClears) {
   LatencyHistogram h;
   h.record(42);
